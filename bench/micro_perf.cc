@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark) for the substrate hot paths: BGP
+// origination+convergence, FIB lookups, data-plane forwarding, valley-free
+// reachability queries, probe execution, and the RNG/stats plumbing.
+#include <benchmark/benchmark.h>
+
+#include "core/remediation.h"
+#include "topology/valley_free.h"
+#include "workload/outages.h"
+#include "workload/sim_world.h"
+
+namespace {
+
+using namespace lg;
+using topo::AsId;
+
+workload::SimWorld& shared_world() {
+  static workload::SimWorld world(workload::SimWorld::small_config(7));
+  return world;
+}
+
+void BM_TopologyGenerate(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    topo::TopologyParams params;
+    params.num_stubs = static_cast<std::uint32_t>(state.range(0));
+    params.seed = seed++;
+    benchmark::DoNotOptimize(topo::generate_topology(params));
+  }
+}
+BENCHMARK(BM_TopologyGenerate)->Arg(200)->Arg(600);
+
+void BM_BgpOriginateAndConverge(benchmark::State& state) {
+  auto& world = shared_world();
+  const AsId origin = world.topology().stubs.front();
+  const auto prefix = topo::AddressPlan::production_prefix(origin);
+  for (auto _ : state) {
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::AsPath{origin};
+    world.engine().originate(origin, prefix, policy);
+    world.converge();
+    world.engine().withdraw(origin, prefix);
+    world.converge();
+  }
+}
+BENCHMARK(BM_BgpOriginateAndConverge);
+
+void BM_PoisonAndConverge(benchmark::State& state) {
+  auto& world = shared_world();
+  AsId origin = topo::kInvalidAs;
+  for (const AsId as : world.topology().stubs) {
+    if (world.graph().providers(as).size() >= 2) {
+      origin = as;
+      break;
+    }
+  }
+  core::Remediator remediator(world.engine(), origin);
+  remediator.announce_baseline();
+  world.converge();
+  const AsId victim = world.feed_ases(1).front();
+  for (auto _ : state) {
+    remediator.poison(victim);
+    world.converge();
+    remediator.unpoison();
+    world.converge();
+  }
+}
+BENCHMARK(BM_PoisonAndConverge);
+
+void BM_FibLookup(benchmark::State& state) {
+  auto& world = shared_world();
+  const AsId as = world.topology().stubs.front();
+  const auto addr = topo::AddressPlan::router_address(
+      topo::RouterId{world.topology().tier1.front(), 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.engine().fib_lookup(as, addr));
+  }
+}
+BENCHMARK(BM_FibLookup);
+
+void BM_DataPlaneForward(benchmark::State& state) {
+  auto& world = shared_world();
+  const AsId src = world.topology().stubs.front();
+  const AsId dst = world.topology().stubs.back();
+  const auto addr =
+      topo::AddressPlan::router_address(topo::RouterId{dst, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.dataplane().forward(src, addr));
+  }
+}
+BENCHMARK(BM_DataPlaneForward);
+
+void BM_Ping(benchmark::State& state) {
+  auto& world = shared_world();
+  static bool announced = [] {
+    auto& w = shared_world();
+    w.announce_production(w.topology().stubs.front());
+    w.converge();
+    return true;
+  }();
+  (void)announced;
+  const AsId src = world.topology().stubs.front();
+  const auto vp_addr = topo::AddressPlan::production_host(src);
+  const auto target = topo::AddressPlan::router_address(
+      topo::RouterId{world.topology().stubs.back(), 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.prober().ping(src, target, vp_addr));
+  }
+}
+BENCHMARK(BM_Ping);
+
+void BM_ValleyFreeReachability(benchmark::State& state) {
+  auto& world = shared_world();
+  const topo::ValleyFreeOracle oracle(world.graph());
+  const AsId src = world.topology().stubs.front();
+  const AsId dst = world.topology().stubs.back();
+  const auto avoid =
+      topo::Avoidance::of_as(world.topology().large_transit.front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.reachable(src, dst, avoid));
+  }
+}
+BENCHMARK(BM_ValleyFreeReachability);
+
+void BM_OutageStudyGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workload::generate_outage_study(10308, {}, seed++));
+  }
+}
+BENCHMARK(BM_OutageStudyGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

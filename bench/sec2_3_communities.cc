@@ -1,0 +1,122 @@
+// §2.3 reproduction — why BGP communities cannot implement
+// AVOID_PROBLEM(X, P): "many ASes do not propagate community values they
+// receive, and so communities are not a feasible way to notify arbitrary
+// ASes of routing problems. We announced experimental prefixes with
+// communities attached and found that, for example, any AS that used a
+// Tier-1 to reach our prefixes did not have the communities on our
+// announcements."
+//
+// We announce a prefix with a community attached while tier-1 networks (and
+// a configurable fraction of other transits) strip communities, then measure
+// which ASes still see the tag.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/sim_world.h"
+
+using namespace lg;
+using topo::AsId;
+
+namespace {
+
+struct Visibility {
+  std::size_t with_route = 0;
+  std::size_t with_community = 0;
+  std::size_t via_tier1_with_community = 0;
+  std::size_t via_tier1 = 0;
+};
+
+Visibility measure_visibility(workload::SimWorld& world, AsId origin,
+                   const topo::Prefix& prefix, bgp::Community tag) {
+  Visibility v;
+  for (const AsId as : world.graph().as_ids()) {
+    if (as == origin) continue;
+    const auto* route = world.engine().best_route(as, prefix);
+    if (route == nullptr) continue;
+    ++v.with_route;
+    bool via_t1 = false;
+    for (const AsId hop : route->path) {
+      if (hop == origin) break;
+      if (world.graph().tier(hop) == topo::AsTier::kTier1) {
+        via_t1 = true;
+        break;
+      }
+    }
+    const bool tagged =
+        std::find(route->communities.begin(), route->communities.end(),
+                  tag) != route->communities.end();
+    if (via_t1) ++v.via_tier1;
+    if (tagged) {
+      ++v.with_community;
+      if (via_t1) ++v.via_tier1_with_community;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Section 2.3 'BGP communities'",
+                "Do community-tagged announcements reach arbitrary ASes?");
+
+  workload::SimWorld world;
+  const AsId origin = world.topology().stubs.front();
+  constexpr bgp::Community kAvoidTag = 0xFFFF'0001;
+
+  const auto prefix = topo::AddressPlan::production_prefix(origin);
+  const auto announce = [&] {
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::AsPath{origin};
+    policy.communities = {kAvoidTag};
+    world.engine().originate(origin, prefix, policy);
+    world.converge();
+  };
+
+  // Pass 1: nobody strips — the hypothetical clean world.
+  announce();
+  const auto clean = measure_visibility(world, origin, prefix, kAvoidTag);
+
+  // Pass 2: tier-1s strip (the paper's observation) and a third of other
+  // transits never propagate communities either [30].
+  for (const AsId as : world.topology().tier1) {
+    world.engine().speaker(as).mutable_config().strips_communities = true;
+  }
+  std::size_t i = 0;
+  for (const AsId as : world.topology().transit()) {
+    if (++i % 3 == 0) {
+      world.engine().speaker(as).mutable_config().strips_communities = true;
+    }
+  }
+  // Force re-propagation by withdrawing and re-announcing.
+  world.engine().withdraw(origin, prefix);
+  world.converge();
+  announce();
+  const auto real = measure_visibility(world, origin, prefix, kAvoidTag);
+
+  bench::section("Without stripping (hypothetical)");
+  bench::kv("ASes with a route", std::to_string(clean.with_route));
+  bench::kv("...that still carry the community",
+            util::pct(static_cast<double>(clean.with_community) /
+                      static_cast<double>(clean.with_route)));
+
+  bench::section("With tier-1s (and 1/3 of transits) stripping");
+  bench::kv("ASes with a route", std::to_string(real.with_route));
+  bench::compare_row("ASes still carrying the community", "far from all",
+                     util::pct(static_cast<double>(real.with_community) /
+                               static_cast<double>(real.with_route)));
+  bench::compare_row(
+      "ASes routing via a tier-1 that kept the community", "0%",
+      real.via_tier1
+          ? util::pct(static_cast<double>(real.via_tier1_with_community) /
+                      static_cast<double>(real.via_tier1))
+          : "n/a");
+  bench::kv("ASes routing via a tier-1", std::to_string(real.via_tier1));
+
+  bench::section("Conclusion (as in the paper)");
+  std::printf(
+      "  Communities reach only the neighborhood that happens to preserve\n"
+      "  them; they cannot notify arbitrary ASes, so LIFEGUARD needs the\n"
+      "  loop-prevention mechanism (poisoning) instead.\n");
+  return 0;
+}

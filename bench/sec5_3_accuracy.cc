@@ -1,0 +1,138 @@
+// §5.3 reproduction — isolation accuracy:
+//  * consistency of LIFEGUARD's verdict with ground truth across injected
+//    unidirectional and bidirectional failures (paper: 169/182 = 93%
+//    consistent with target-side traceroutes);
+//  * fraction of outages where LIFEGUARD's verdict differs from what
+//    traceroute alone would suggest (paper: 40%).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/isolation.h"
+#include "workload/scenarios.h"
+#include "workload/sim_world.h"
+
+using namespace lg;
+using core::FailureDirection;
+using topo::AsId;
+
+namespace {
+
+struct Score {
+  std::size_t tested = 0;
+  std::size_t direction_correct = 0;
+  std::size_t blame_correct = 0;
+  std::size_t traceroute_differs = 0;
+  std::size_t traceroute_would_be_wrong = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Section 5.3 / Table 1 'Accuracy'",
+                "Failure isolation vs ground truth and vs traceroute-only");
+
+  workload::SimWorld world;
+  const auto vp_ases = world.stub_vantage_ases(12);
+  for (const AsId as : vp_ases) world.announce_production(as);
+  world.converge();
+
+  const auto vp = measure::VantagePoint::in_as(vp_ases[0]);
+  std::vector<measure::VantagePoint> helpers;
+  std::vector<AsId> witnesses;
+  for (std::size_t i = 1; i < vp_ases.size(); ++i) {
+    helpers.push_back(measure::VantagePoint::in_as(vp_ases[i]));
+    witnesses.push_back(vp_ases[i]);
+  }
+
+  core::PathAtlas atlas;
+  core::IsolationEngine engine(world.prober(), atlas);
+  workload::ScenarioGenerator gen(world, 777);
+
+  Score per_direction[3];
+  const FailureDirection directions[] = {FailureDirection::kForward,
+                                         FailureDirection::kReverse,
+                                         FailureDirection::kBidirectional};
+  const char* names[] = {"forward", "reverse", "bidirectional"};
+  const std::size_t kPerDirection = 61;  // ~183 total, as in the paper
+
+  for (int d = 0; d < 3; ++d) {
+    Score& score = per_direction[d];
+    for (const AsId target_as : world.topology().stubs) {
+      if (score.tested >= kPerDirection) break;
+      if (target_as == vp.as) continue;
+      auto scenario =
+          gen.make(vp.as, target_as, directions[d], false, witnesses);
+      if (!scenario) continue;
+      // Warm the atlas with the failure lifted (steady-state monitoring),
+      // then re-install it.
+      const auto failure_ids = scenario->failure_ids;
+      scenario->failure_ids.clear();
+      for (const auto id : failure_ids) world.failures().clear(id);
+      atlas.refresh(world.prober(), vp, scenario->target, 0.0);
+      switch (directions[d]) {
+        case FailureDirection::kForward:
+          scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
+              .at_as = scenario->culprit_as, .toward_as = target_as}));
+          break;
+        case FailureDirection::kReverse:
+          scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
+              .at_as = scenario->culprit_as, .toward_as = vp.as}));
+          break;
+        case FailureDirection::kBidirectional:
+          scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
+              .at_as = scenario->culprit_as, .toward_as = target_as}));
+          scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
+              .at_as = scenario->culprit_as, .toward_as = vp.as}));
+          break;
+        default:
+          break;
+      }
+
+      const auto result = engine.isolate(vp, scenario->target, helpers);
+      ++score.tested;
+      if (result.direction == directions[d]) ++score.direction_correct;
+      if (result.blamed_as == scenario->culprit_as) ++score.blame_correct;
+      if (result.traceroute_blame != result.blamed_as) {
+        ++score.traceroute_differs;
+        if (result.traceroute_blame != scenario->culprit_as) {
+          ++score.traceroute_would_be_wrong;
+        }
+      }
+      gen.repair(*scenario);
+    }
+  }
+
+  bench::section("Per-direction results");
+  std::printf("  %-15s %-8s %-12s %-12s %-14s\n", "direction", "tested",
+              "dir correct", "AS correct", "tr differs");
+  Score total;
+  for (int d = 0; d < 3; ++d) {
+    const Score& s = per_direction[d];
+    std::printf("  %-15s %-8zu %-12zu %-12zu %-14zu\n", names[d], s.tested,
+                s.direction_correct, s.blame_correct, s.traceroute_differs);
+    total.tested += s.tested;
+    total.direction_correct += s.direction_correct;
+    total.blame_correct += s.blame_correct;
+    total.traceroute_differs += s.traceroute_differs;
+    total.traceroute_would_be_wrong += s.traceroute_would_be_wrong;
+  }
+
+  bench::section("Paper anchors");
+  const auto frac = [&](std::size_t n) {
+    return total.tested ? util::pct(static_cast<double>(n) /
+                                    static_cast<double>(total.tested))
+                        : std::string("n/a");
+  };
+  bench::kv("isolated failures", std::to_string(total.tested) +
+                                     " (paper: 182 unidirectional + bidir)");
+  bench::compare_row("verdict consistent with ground truth", "93% (169/182)",
+                     frac(total.blame_correct));
+  bench::compare_row("LIFEGUARD differs from traceroute-only diagnosis",
+                     "40%", frac(total.traceroute_differs));
+  if (total.traceroute_differs > 0) {
+    bench::kv("...and when differing, traceroute-only was wrong",
+              util::pct(static_cast<double>(total.traceroute_would_be_wrong) /
+                        static_cast<double>(total.traceroute_differs)));
+  }
+  return 0;
+}

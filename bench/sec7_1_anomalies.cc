@@ -1,0 +1,154 @@
+// §7.1 reproduction — poisoning anomalies and countermeasures:
+//  * ASes that allow one occurrence of their own ASN (AS286-style): a
+//    single poison is ignored, a double poison (O-A-A-O) works;
+//  * ASes that disable loop detection entirely: unpoisonable (stubs only in
+//    practice — and stubs never need poisoning);
+//  * Cogent-style peer filters: customers' announcements carrying a peer of
+//    the filtering AS are dropped, shrinking poisoning's reach (paper: via
+//    other providers, 76% of collector peers still found alternates);
+//  * sentinel ablation: captives keep/lose backup connectivity.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/poison_experiment.h"
+#include "workload/sim_world.h"
+
+using namespace lg;
+using topo::AsId;
+
+namespace {
+
+// Fraction of feed peers that had routed via `target` and found an
+// alternate after poisoning.
+double alternate_fraction(workload::PoisonExperiment& experiment,
+                          const std::vector<AsId>& feeds, AsId target) {
+  const auto outcome = experiment.poison_and_measure(target, feeds);
+  std::size_t using_target = 0;
+  std::size_t found = 0;
+  for (const auto& peer : outcome.peers) {
+    if (!peer.routed_via_poisoned_before) continue;
+    ++using_target;
+    if (peer.has_route_after && peer.avoids_poisoned_after) ++found;
+  }
+  return using_target == 0 ? -1.0
+                           : static_cast<double>(found) /
+                                 static_cast<double>(using_target);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Section 7.1", "Poisoning anomalies and their workarounds");
+
+  workload::SimWorld world;
+  AsId origin = topo::kInvalidAs;
+  for (const AsId as : world.topology().stubs) {
+    if (world.graph().providers(as).size() >= 2) {
+      origin = as;
+      break;
+    }
+  }
+  workload::PoisonExperiment experiment(world, origin);
+  experiment.setup();
+  const auto feeds = world.feed_ases(30);
+  const auto candidates = experiment.harvest_poison_candidates(feeds);
+  const auto& prefix = experiment.production_prefix();
+
+  // ---- (a) loop-threshold anomalies ----
+  bench::section("(a) AS accepting one occurrence of its own ASN (AS286)");
+  const AsId lenient = candidates.front();
+  world.engine().speaker(lenient).mutable_config().loop_threshold = 2;
+
+  experiment.remediator().poison(lenient);
+  world.converge();
+  const bool single_poison_ignored =
+      world.engine().best_route(lenient, prefix) != nullptr;
+  experiment.remediator().poison_path({lenient, lenient});
+  world.converge();
+  const bool double_poison_works =
+      world.engine().best_route(lenient, prefix) == nullptr;
+  experiment.remediator().unpoison();
+  world.converge();
+  world.engine().speaker(lenient).mutable_config().loop_threshold = 1;
+
+  bench::compare_row("single poison ignored by lenient AS", "yes",
+                     single_poison_ignored ? "yes" : "no");
+  bench::compare_row("double poison (O-A-A-O) takes effect", "yes",
+                     double_poison_works ? "yes" : "no");
+
+  // ---- (b) loop detection disabled ----
+  bench::section("(b) AS with loop detection disabled");
+  world.engine().speaker(lenient).mutable_config().loop_detection_disabled =
+      true;
+  experiment.remediator().poison_path({lenient, lenient, lenient});
+  world.converge();
+  bench::compare_row(
+      "unpoisonable even with repeated ASN", "yes (stubs only in practice)",
+      world.engine().best_route(lenient, prefix) != nullptr ? "yes" : "no");
+  experiment.remediator().unpoison();
+  world.converge();
+  world.engine().speaker(lenient).mutable_config().loop_detection_disabled =
+      false;
+
+  // ---- (c) Cogent-style peer filters ----
+  bench::section("(c) Peer filters on customer routes (Cogent-style)");
+  // Install the filter at the highest-degree transit; poison candidates and
+  // compare alternate-discovery with the unfiltered world.
+  const AsId filterer = world.feed_ases(1).front();
+  double unfiltered_sum = 0.0;
+  double filtered_sum = 0.0;
+  int measured = 0;
+  for (std::size_t i = 1; i < candidates.size() && measured < 8; ++i) {
+    const AsId target = candidates[i];
+    if (target == filterer) continue;
+    const double before = alternate_fraction(experiment, feeds, target);
+    world.engine()
+        .speaker(filterer)
+        .mutable_config()
+        .reject_customer_routes_containing_my_peers = true;
+    const double after = alternate_fraction(experiment, feeds, target);
+    world.engine()
+        .speaker(filterer)
+        .mutable_config()
+        .reject_customer_routes_containing_my_peers = false;
+    if (before < 0.0 || after < 0.0) continue;
+    unfiltered_sum += before;
+    filtered_sum += after;
+    ++measured;
+  }
+  if (measured > 0) {
+    bench::compare_row("peers finding alternates, no filter", "77%",
+                       util::pct(unfiltered_sum / measured));
+    bench::compare_row("peers finding alternates, with peer filter", "76%",
+                       util::pct(filtered_sum / measured),
+                       "(filtering narrows propagation slightly)");
+  }
+
+  // ---- (d) sentinel ablation ----
+  bench::section("(d) Sentinel ablation: captive connectivity during poison");
+  // Count captive ASes (no production route while poisoned) and how many
+  // keep data-plane connectivity thanks to the sentinel.
+  const AsId target = candidates.front();
+  experiment.remediator().poison(target);
+  world.converge();
+  std::size_t captives = 0;
+  std::size_t captives_with_backup = 0;
+  const auto origin_host = topo::AddressPlan::production_host(origin);
+  for (const AsId as : world.graph().as_ids()) {
+    if (as == origin) continue;
+    if (world.engine().best_route(as, prefix) != nullptr) continue;
+    ++captives;
+    if (world.dataplane().forward(as, origin_host).delivered()) {
+      ++captives_with_backup;
+    }
+  }
+  experiment.remediator().unpoison();
+  world.converge();
+  bench::kv("captive ASes while poisoned", std::to_string(captives));
+  bench::compare_row("captives retaining delivery via sentinel",
+                     "all (Backup property)",
+                     captives ? util::pct(static_cast<double>(captives_with_backup) /
+                                          static_cast<double>(captives))
+                              : "n/a");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: the paper's Figure 2 in ~80 lines of API use.
+//
+// Build a seven-AS topology, announce a production prefix with the prepended
+// baseline plus a sentinel, then poison AS A and watch BGP's loop prevention
+// reroute everyone who can be rerouted — while the captive AS F keeps backup
+// connectivity through the sentinel less-specific.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "bgp/engine.h"
+#include "core/remediation.h"
+#include "dataplane/forwarding.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+
+using namespace lg;
+
+namespace {
+
+void print_tables(bgp::BgpEngine& engine, const topo::Fig2Topology& topo,
+                  const topo::Prefix& prefix) {
+  const struct {
+    const char* name;
+    topo::AsId id;
+  } ases[] = {{"B", topo.b}, {"A", topo.a}, {"C", topo.c},
+              {"D", topo.d}, {"E", topo.e}, {"F", topo.f}};
+  for (const auto& [name, id] : ases) {
+    if (const auto* route = engine.best_route(id, prefix)) {
+      std::printf("  %s: %s-%s\n", name, name,
+                  bgp::path_str(route->path).c_str());
+    } else {
+      std::printf("  %s: (no route)\n", name);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. The topology of Fig. 2: origin O behind provider B; E multihomed to
+  //    A and D; F captive behind A.
+  const auto topo = topo::make_fig2_topology();
+
+  // 2. A BGP engine over a discrete-event scheduler, plus the data plane.
+  util::Scheduler sched;
+  bgp::BgpEngine engine(topo.graph, sched);
+  dp::RouterNet net(topo.graph);
+  dp::FailureInjector failures;
+  dp::DataPlane dataplane(engine, net, failures);
+
+  // 3. The origin's announcement controller: production /24 announced with
+  //    the prepended O-O-O baseline, sentinel /23 alongside.
+  core::Remediator remediator(engine, topo.o);
+  remediator.announce_baseline();
+  sched.run();  // let BGP converge
+
+  std::printf("Production prefix: %s\n",
+              remediator.production_prefix().str().c_str());
+  std::printf("Sentinel prefix:   %s\n\n",
+              remediator.sentinel_prefix().str().c_str());
+
+  std::printf("Routing tables before poisoning (paper Fig. 2a):\n");
+  print_tables(engine, topo, remediator.production_prefix());
+
+  // 4. Suppose A advertises routes but silently drops our traffic. Poison it.
+  std::printf("\n>>> remediator.poison(A)\n\n");
+  remediator.poison(topo.a);
+  sched.run();
+
+  std::printf("Routing tables after poisoning (paper Fig. 2b):\n");
+  print_tables(engine, topo, remediator.production_prefix());
+
+  // 5. The Avoidance property: E now reaches O through D, not A.
+  const auto o_host = topo::AddressPlan::production_host(topo.o);
+  const auto from_e = dataplane.forward(topo.e, o_host);
+  std::printf("\nData plane E -> O: %s via ASes",
+              dp::delivery_status_name(from_e.status));
+  for (const auto as : from_e.as_path()) std::printf(" %u", as);
+  std::printf("\n");
+
+  // 6. The Backup property: captive F still delivers via the sentinel.
+  const auto from_f = dataplane.forward(topo.f, o_host);
+  std::printf("Data plane F -> O: %s (longest match %s)\n",
+              dp::delivery_status_name(from_f.status),
+              engine.speaker(topo.f).fib_lookup(o_host).matched.str().c_str());
+
+  // 7. Problem fixed? Remove the poison; routes return to Fig. 2a.
+  std::printf("\n>>> remediator.unpoison()\n\n");
+  remediator.unpoison();
+  sched.run();
+  std::printf("Routing tables after unpoisoning:\n");
+  print_tables(engine, topo, remediator.production_prefix());
+  return 0;
+}

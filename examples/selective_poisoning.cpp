@@ -1,0 +1,95 @@
+// Figure 3 walk-through: steering traffic off a single failing inter-AS
+// link with *selective* poisoning — poisoning A on the announcements sent
+// via one provider while announcing clean via the other — without cutting A
+// off and without moving any other network's traffic.
+//
+//   ./selective_poisoning
+#include <cstdio>
+
+#include "bgp/engine.h"
+#include "core/remediation.h"
+#include "dataplane/forwarding.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+
+using namespace lg;
+using topo::AsId;
+
+namespace {
+
+void show_route(bgp::BgpEngine& engine, const char* name, AsId as,
+                const topo::Prefix& prefix) {
+  if (const auto* route = engine.best_route(as, prefix)) {
+    std::printf("  %-3s next-hop AS %-4u path %s\n", name, route->neighbor,
+                bgp::path_str(route->path).c_str());
+  } else {
+    std::printf("  %-3s (no route)\n", name);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto topo = topo::make_fig3_topology();
+  util::Scheduler sched;
+  bgp::BgpEngine engine(topo.graph, sched);
+  dp::RouterNet net(topo.graph);
+  dp::FailureInjector failures;
+  dp::DataPlane dataplane(engine, net, failures);
+
+  core::Remediator remediator(engine, topo.o);
+  remediator.announce_baseline();
+  sched.run();
+
+  const auto& prefix = remediator.production_prefix();
+  std::printf("Figure 3 topology: O multihomed to D1/D2; A reaches O via the\n"
+              "disjoint chains B1-D1 and B2-D2.\n\n");
+  std::printf("Before (Fig. 3a) — A and its customers ride the B2 chain:\n");
+  show_route(engine, "A", topo.a, prefix);
+  show_route(engine, "C2", topo.c2, prefix);
+  show_route(engine, "C3", topo.c3, prefix);
+  show_route(engine, "C4", topo.c4, prefix);
+  show_route(engine, "C1", topo.c1, prefix);
+
+  // The A-B2 link develops a silent failure for traffic toward O.
+  std::printf("\n*** silent failure on link A-B2 (direction A->B2, toward O) "
+              "***\n");
+  failures.inject(dp::Failure{.at_link = topo::AsLinkKey(topo.a, topo.b2),
+                              .direction_from = topo.a,
+                              .toward_as = topo.o});
+  const auto broken = dataplane.forward(topo.c3,
+                                        topo::AddressPlan::production_host(topo.o));
+  std::printf("C3 -> O now: %s\n\n", dp::delivery_status_name(broken.status));
+
+  // AVOID_PROBLEM(A-B2, P): poison A only on the announcement via D2.
+  std::printf(">>> selective_poison(A, via={D2})\n\n");
+  const AsId poisoned_via[] = {topo.d2};
+  remediator.selective_poison(topo.a, poisoned_via);
+  sched.run();
+
+  std::printf("After (Fig. 3b):\n");
+  show_route(engine, "A", topo.a, prefix);
+  show_route(engine, "C2", topo.c2, prefix);
+  show_route(engine, "C3", topo.c3, prefix);
+  show_route(engine, "C4", topo.c4, prefix);
+  show_route(engine, "C1", topo.c1, prefix);
+
+  const auto fixed = dataplane.forward(topo.c3,
+                                       topo::AddressPlan::production_host(topo.o));
+  std::printf("\nC3 -> O now: %s via ASes",
+              dp::delivery_status_name(fixed.status));
+  for (const auto as : fixed.as_path()) std::printf(" %u", as);
+  std::printf("\n");
+  const auto c4 = dataplane.forward(topo.c4,
+                                    topo::AddressPlan::production_host(topo.o));
+  std::printf("C4 -> O unchanged: %s via ASes",
+              dp::delivery_status_name(c4.status));
+  for (const auto as : c4.as_path()) std::printf(" %u", as);
+  std::printf("  (still the B2-D2 chain — its traffic never crossed A-B2)\n");
+
+  std::printf("\nContrast: full poisoning of A would leave A, C2 and C3 with\n"
+              "no production route at all; selective advertising (withdrawing\n"
+              "from D2) would needlessly move C4. Selective poisoning moves\n"
+              "only A and its customers.\n");
+  return 0;
+}

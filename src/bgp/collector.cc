@@ -1,0 +1,49 @@
+#include "bgp/collector.h"
+
+namespace lg::bgp {
+
+bool RouteCollector::matches(const RouteEvent& event) const {
+  if (!ases_.empty() && !ases_.contains(event.as)) return false;
+  if (!prefixes_.empty() && !prefixes_.contains(event.prefix)) return false;
+  return true;
+}
+
+void RouteCollector::on_route_change(const RouteEvent& event) {
+  if (matches(event)) events_.push_back(event);
+}
+
+std::vector<RouteEvent> RouteCollector::events_for(AsId as,
+                                                   const Prefix& prefix,
+                                                   double t0,
+                                                   double t1) const {
+  std::vector<RouteEvent> out;
+  for (const auto& e : events_) {
+    if (e.as == as && e.prefix == prefix && e.time >= t0 && e.time <= t1) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::optional<double> RouteCollector::convergence_time(AsId as,
+                                                       const Prefix& prefix,
+                                                       double t0) const {
+  const auto evs = events_for(as, prefix, t0);
+  if (evs.empty()) return std::nullopt;
+  return evs.back().time - evs.front().time;
+}
+
+std::size_t RouteCollector::update_count(AsId as, const Prefix& prefix,
+                                         double t0) const {
+  return events_for(as, prefix, t0).size();
+}
+
+std::optional<Route> RouteCollector::final_route(AsId as,
+                                                 const Prefix& prefix) const {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->as == as && it->prefix == prefix) return it->best;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lg::bgp

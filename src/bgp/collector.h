@@ -1,0 +1,56 @@
+// Route collector: the simulator's stand-in for RouteViews / RIPE RIS.
+//
+// The paper measures poisoning efficacy and convergence by watching the
+// update streams that ASes peering with public collectors announce. Here a
+// collector observes best-route changes of a monitored set of ASes (exactly
+// the updates those ASes would send a collector customer) and offers the
+// per-peer analytics used in §5.1/§5.2: did the peer find a path avoiding
+// the poisoned AS, how many updates did it send, and how long until its
+// route stabilized.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/engine.h"
+
+namespace lg::bgp {
+
+class RouteCollector : public RouteObserver {
+ public:
+  // Empty monitored sets mean "record everything".
+  void monitor_as(AsId as) { ases_.insert(as); }
+  void monitor_prefix(const Prefix& prefix) { prefixes_.insert(prefix); }
+
+  void on_route_change(const RouteEvent& event) override;
+
+  const std::vector<RouteEvent>& events() const noexcept { return events_; }
+  void clear() { events_.clear(); }
+
+  // Events for one (as, prefix) within [t0, t1].
+  std::vector<RouteEvent> events_for(AsId as, const Prefix& prefix, double t0,
+                                     double t1 = 1e300) const;
+
+  // Per-peer convergence delay after an announcement made at/after t0:
+  // time from the peer's first update to its last (0 => single update,
+  // "converged instantly" in the paper's terminology). nullopt if the peer
+  // sent no updates at all.
+  std::optional<double> convergence_time(AsId as, const Prefix& prefix,
+                                         double t0) const;
+  std::size_t update_count(AsId as, const Prefix& prefix, double t0) const;
+
+  // The peer's route after the last observed event (nullopt = no events or
+  // route lost).
+  std::optional<Route> final_route(AsId as, const Prefix& prefix) const;
+
+ private:
+  bool matches(const RouteEvent& event) const;
+
+  std::unordered_set<AsId> ases_;
+  std::unordered_set<Prefix, topo::PrefixHash> prefixes_;
+  std::vector<RouteEvent> events_;
+};
+
+}  // namespace lg::bgp

@@ -1,0 +1,174 @@
+#include "bgp/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lg::bgp {
+
+BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
+                     EngineConfig cfg)
+    : graph_(&graph), sched_(&sched), cfg_(cfg), rng_(cfg.seed, 0x62677065ULL) {
+  for (const AsId id : graph.as_ids()) {
+    speakers_.emplace(id, BgpSpeaker(id, graph, SpeakerConfig{}));
+  }
+}
+
+BgpSpeaker& BgpEngine::speaker(AsId id) {
+  const auto it = speakers_.find(id);
+  if (it == speakers_.end()) {
+    throw std::out_of_range("unknown AS " + std::to_string(id));
+  }
+  return it->second;
+}
+
+const BgpSpeaker& BgpEngine::speaker(AsId id) const {
+  const auto it = speakers_.find(id);
+  if (it == speakers_.end()) {
+    throw std::out_of_range("unknown AS " + std::to_string(id));
+  }
+  return it->second;
+}
+
+void BgpEngine::remove_observer(RouteObserver* observer) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), observer),
+                   observers_.end());
+}
+
+void BgpEngine::originate(AsId as, const Prefix& prefix, OriginPolicy policy) {
+  speaker(as).set_origin_policy(prefix, std::move(policy));
+  schedule_exports(as, prefix);
+}
+
+void BgpEngine::withdraw(AsId as, const Prefix& prefix) {
+  speaker(as).clear_origin_policy(prefix);
+  schedule_exports(as, prefix);
+}
+
+void BgpEngine::schedule_exports(AsId from, const Prefix& prefix) {
+  for (const auto& n : graph_->neighbors(from)) {
+    try_send(from, n.id, prefix);
+  }
+}
+
+double BgpEngine::mrai_for(AsId from) {
+  const double base = speaker(from).config().mrai_seconds >= 0.0
+                          ? speaker(from).config().mrai_seconds
+                          : cfg_.default_mrai;
+  const double lo = base * (1.0 - cfg_.mrai_jitter_frac);
+  return rng_.uniform(lo, base);
+}
+
+void BgpEngine::try_send(AsId from, AsId to, const Prefix& prefix) {
+  const SessionPrefixKey key{(static_cast<std::uint64_t>(from) << 32) | to,
+                             prefix};
+  auto& mrai = mrai_[key];
+  const double now = sched_->now();
+  if (now >= mrai.ready_at) {
+    send_now(from, to, prefix, mrai);
+    return;
+  }
+  if (!mrai.flush_scheduled) {
+    mrai.flush_scheduled = true;
+    sched_->at(mrai.ready_at, [this, from, to, prefix] {
+      const SessionPrefixKey k{(static_cast<std::uint64_t>(from) << 32) | to,
+                               prefix};
+      auto& m = mrai_[k];
+      m.flush_scheduled = false;
+      send_now(from, to, prefix, m);
+    });
+  }
+}
+
+void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
+                         MraiState& mrai) {
+  BgpSpeaker& sender = speaker(from);
+  const auto current = sender.export_path(prefix, to);
+  const auto* last = sender.last_advertised(prefix, to);
+  const bool had_advertised = last != nullptr && last->has_value();
+  if (last != nullptr && *last == current) return;  // nothing new to say
+  if (last == nullptr && !current) return;          // never advertised, nothing now
+
+  UpdateMessage msg;
+  msg.from = from;
+  msg.to = to;
+  msg.prefix = prefix;
+  if (current) {
+    msg.type = MsgType::kAnnounce;
+    msg.path = current->path;
+    msg.communities = current->communities;
+    msg.avoid_hint = current->avoid_hint;
+  } else {
+    if (!had_advertised) {  // adj-out holds an explicit "withdrawn" marker
+      sender.record_advertised(prefix, to, std::nullopt);
+      return;
+    }
+    msg.type = MsgType::kWithdraw;
+  }
+  sender.record_advertised(prefix, to, current);
+  mrai.ready_at = sched_->now() + mrai_for(from);
+
+  ++total_messages_;
+  ++sent_by_[from];
+  sched_->after(link_delay(), [this, msg] { deliver(msg); });
+}
+
+void BgpEngine::deliver(const UpdateMessage& msg) {
+  const double now = sched_->now();
+  last_activity_ = now;
+  BgpSpeaker& receiver = speaker(msg.to);
+  const bool best_changed = receiver.process_update(msg, now);
+  if (best_changed) {
+    ++best_changes_[msg.to];
+    notify(msg.to, msg.prefix);
+    schedule_exports(msg.to, msg.prefix);
+  }
+  // Flap damping: if this session is suppressed, arrange to re-evaluate the
+  // neighbor's route once its penalty decays to the reuse threshold.
+  if (receiver.config().damping_enabled) {
+    if (const auto delay =
+            receiver.damping_reuse_delay(msg.prefix, msg.from, now)) {
+      const AsId to = msg.to;
+      const AsId from = msg.from;
+      const Prefix prefix = msg.prefix;
+      sched_->after(*delay + 0.001, [this, to, from, prefix] {
+        BgpSpeaker& spk = speaker(to);
+        if (spk.recheck_damping(prefix, from, sched_->now())) {
+          ++best_changes_[to];
+          notify(to, prefix);
+          schedule_exports(to, prefix);
+        }
+      });
+    }
+  }
+}
+
+void BgpEngine::notify(AsId as, const Prefix& prefix) {
+  if (observers_.empty()) return;
+  RouteEvent event;
+  event.time = sched_->now();
+  event.as = as;
+  event.prefix = prefix;
+  if (const Route* best = speaker(as).best_route(prefix)) {
+    event.best = *best;
+  }
+  for (RouteObserver* obs : observers_) obs->on_route_change(event);
+}
+
+void BgpEngine::reset_counters() {
+  total_messages_ = 0;
+  last_activity_ = sched_->now();
+  sent_by_.clear();
+  best_changes_.clear();
+}
+
+std::uint64_t BgpEngine::messages_sent_by(AsId as) const {
+  const auto it = sent_by_.find(as);
+  return it == sent_by_.end() ? 0 : it->second;
+}
+
+std::uint64_t BgpEngine::best_changes_of(AsId as) const {
+  const auto it = best_changes_.find(as);
+  return it == best_changes_.end() ? 0 : it->second;
+}
+
+}  // namespace lg::bgp

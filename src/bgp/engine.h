@@ -1,0 +1,131 @@
+// Event-driven BGP propagation engine.
+//
+// Drives UPDATE exchange between all speakers over the simulation scheduler:
+// per-(session, prefix) MRAI rate limiting (this is what creates the paper's
+// multi-minute convergence and path exploration), link propagation delays,
+// and bookkeeping for the convergence/update-count measurements of §5.2 and
+// the load model of Table 2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/speaker.h"
+#include "bgp/types.h"
+#include "topology/as_graph.h"
+#include "util/rng.h"
+#include "util/scheduler.h"
+
+namespace lg::bgp {
+
+struct EngineConfig {
+  double link_delay_min = 0.01;   // seconds, one-way per BGP session
+  double link_delay_max = 0.05;
+  double default_mrai = 30.0;     // per-session, per-prefix advertisement gap
+  double mrai_jitter_frac = 0.25; // effective MRAI in [mrai*(1-f), mrai]
+  std::uint64_t seed = 7;
+};
+
+// Fired whenever a speaker's best route for a prefix changes (equivalently:
+// whenever the AS would send an UPDATE to a route-collector customer).
+struct RouteEvent {
+  double time = 0.0;
+  AsId as = topo::kInvalidAs;
+  Prefix prefix;
+  std::optional<Route> best;  // nullopt = route lost
+};
+
+class RouteObserver {
+ public:
+  virtual ~RouteObserver() = default;
+  virtual void on_route_change(const RouteEvent& event) = 0;
+};
+
+class BgpEngine {
+ public:
+  BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
+            EngineConfig cfg = {});
+  BgpEngine(const BgpEngine&) = delete;
+  BgpEngine& operator=(const BgpEngine&) = delete;
+
+  const topo::AsGraph& graph() const noexcept { return *graph_; }
+  util::Scheduler& scheduler() noexcept { return *sched_; }
+
+  BgpSpeaker& speaker(AsId id);
+  const BgpSpeaker& speaker(AsId id) const;
+
+  // ---- Origination control (what BGP-Mux gave the paper's authors) ----
+  // (Re)announce `prefix` from `as` under `policy`; triggers propagation.
+  void originate(AsId as, const Prefix& prefix, OriginPolicy policy);
+  // Stop announcing entirely.
+  void withdraw(AsId as, const Prefix& prefix);
+
+  // ---- Observation ----
+  void add_observer(RouteObserver* observer) { observers_.push_back(observer); }
+  void remove_observer(RouteObserver* observer);
+
+  // ---- Queries ----
+  const Route* best_route(AsId as, const Prefix& prefix) const {
+    return speaker(as).best_route(prefix);
+  }
+  FibResult fib_lookup(AsId as, topo::Ipv4 dst) const {
+    return speaker(as).fib_lookup(dst);
+  }
+
+  // Run the scheduler until BGP quiesces (no pending events) or `until`.
+  void run_to_quiescence(double until = util::Scheduler::kForever) {
+    sched_->run(until);
+  }
+
+  // ---- Counters (resettable; used for U in Table 2 and §5.2) ----
+  void reset_counters();
+  std::uint64_t total_messages() const noexcept { return total_messages_; }
+  std::uint64_t messages_sent_by(AsId as) const;
+  std::uint64_t best_changes_of(AsId as) const;
+  // Time of the last delivered message since reset (global convergence end).
+  double last_activity_time() const noexcept { return last_activity_; }
+
+ private:
+  struct SessionPrefixKey {
+    std::uint64_t session;  // (from << 32) | to
+    Prefix prefix;
+    friend bool operator==(const SessionPrefixKey&,
+                           const SessionPrefixKey&) = default;
+  };
+  struct SessionPrefixKeyHash {
+    std::size_t operator()(const SessionPrefixKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.session) ^
+             (topo::PrefixHash{}(k.prefix) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  struct MraiState {
+    double ready_at = 0.0;
+    bool flush_scheduled = false;
+  };
+
+  void schedule_exports(AsId from, const Prefix& prefix);
+  void try_send(AsId from, AsId to, const Prefix& prefix);
+  void send_now(AsId from, AsId to, const Prefix& prefix, MraiState& mrai);
+  void deliver(const UpdateMessage& msg);
+  void notify(AsId as, const Prefix& prefix);
+  double mrai_for(AsId from);
+  double link_delay() { return rng_.uniform(cfg_.link_delay_min, cfg_.link_delay_max); }
+
+  const topo::AsGraph* graph_;
+  util::Scheduler* sched_;
+  EngineConfig cfg_;
+  util::Rng rng_;
+  std::unordered_map<AsId, BgpSpeaker> speakers_;
+  std::unordered_map<SessionPrefixKey, MraiState, SessionPrefixKeyHash> mrai_;
+  std::vector<RouteObserver*> observers_;
+
+  std::uint64_t total_messages_ = 0;
+  double last_activity_ = 0.0;
+  std::unordered_map<AsId, std::uint64_t> sent_by_;
+  std::unordered_map<AsId, std::uint64_t> best_changes_;
+};
+
+}  // namespace lg::bgp

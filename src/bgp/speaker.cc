@@ -1,0 +1,310 @@
+#include "bgp/speaker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lg::bgp {
+
+namespace {
+LearnedFrom learned_from_rel(topo::Rel rel) {
+  switch (rel) {
+    case topo::Rel::kCustomer:
+      return LearnedFrom::kCustomer;
+    case topo::Rel::kPeer:
+      return LearnedFrom::kPeer;
+    case topo::Rel::kProvider:
+      return LearnedFrom::kProvider;
+  }
+  return LearnedFrom::kProvider;
+}
+}  // namespace
+
+BgpSpeaker::BgpSpeaker(AsId id, const topo::AsGraph& graph, SpeakerConfig cfg)
+    : id_(id), graph_(&graph), cfg_(cfg) {}
+
+BgpSpeaker::PrefixState& BgpSpeaker::state_for(const Prefix& prefix) {
+  auto [it, inserted] = prefixes_.try_emplace(prefix);
+  if (inserted) len_present_[prefix.length()] = true;
+  return it->second;
+}
+
+const BgpSpeaker::PrefixState* BgpSpeaker::find_state(
+    const Prefix& prefix) const {
+  const auto it = prefixes_.find(prefix);
+  return it == prefixes_.end() ? nullptr : &it->second;
+}
+
+void BgpSpeaker::set_origin_policy(const Prefix& prefix, OriginPolicy policy) {
+  state_for(prefix).origin = std::move(policy);
+}
+
+void BgpSpeaker::clear_origin_policy(const Prefix& prefix) {
+  if (auto it = prefixes_.find(prefix); it != prefixes_.end()) {
+    it->second.origin.reset();
+  }
+}
+
+bool BgpSpeaker::originates(const Prefix& prefix) const {
+  const auto* st = find_state(prefix);
+  return st != nullptr && st->origin.has_value();
+}
+
+const OriginPolicy* BgpSpeaker::origin_policy(const Prefix& prefix) const {
+  const auto* st = find_state(prefix);
+  return st != nullptr && st->origin ? &*st->origin : nullptr;
+}
+
+bool BgpSpeaker::import_acceptable(const UpdateMessage& msg) {
+  // Loop prevention: reject when our ASN appears loop_threshold+ times.
+  if (!cfg_.loop_detection_disabled &&
+      count_occurrences(msg.path, id_) >= cfg_.loop_threshold) {
+    ++rejected_loop_;
+    return false;
+  }
+  if (cfg_.reject_customer_routes_containing_my_peers) {
+    const auto rel = rel_of(msg.from);
+    if (rel == topo::Rel::kCustomer) {
+      for (const AsId hop : msg.path) {
+        if (graph_->relationship(id_, hop) == topo::Rel::kPeer) {
+          ++rejected_peer_filter_;
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+void decay_penalty(double& penalty, double& last, double now,
+                   double half_life) {
+  if (now > last && half_life > 0.0) {
+    penalty *= std::exp2(-(now - last) / half_life);
+  }
+  last = std::max(last, now);
+}
+}  // namespace
+
+bool BgpSpeaker::process_update(const UpdateMessage& msg, double now) {
+  auto& st = state_for(msg.prefix);
+  const auto rel = rel_of(msg.from);
+  if (!rel) return false;  // not adjacent: drop
+
+  if (cfg_.damping_enabled) {
+    auto& damping = st.damping[msg.from];
+    decay_penalty(damping.penalty, damping.last_update, now,
+                  cfg_.damping_half_life_seconds);
+    damping.penalty += cfg_.damping_penalty_per_update;
+    if (damping.penalty >= cfg_.damping_suppress_threshold) {
+      damping.suppressed = true;
+    }
+  }
+
+  if (msg.type == MsgType::kAnnounce && import_acceptable(msg)) {
+    Route r;
+    r.prefix = msg.prefix;
+    r.path = msg.path;
+    r.neighbor = msg.from;
+    r.learned = learned_from_rel(*rel);
+    r.communities = msg.communities;
+    r.avoid_hint = msg.avoid_hint;
+    if (msg.avoid_hint && msg.avoid_hint->as == id_) {
+      ++avoid_notifications_;  // Notification property: we are the problem
+    }
+    st.rib_in[msg.from] = std::move(r);
+  } else {
+    // Withdrawal, or an announcement rejected by import policy: either way
+    // the neighbor's previous route is no longer usable (BGP implicit
+    // replacement semantics).
+    st.rib_in.erase(msg.from);
+  }
+  return recompute_best(msg.prefix, st);
+}
+
+bool BgpSpeaker::recompute_best(const Prefix& prefix, PrefixState& st) {
+  (void)prefix;
+  // AVOID_PROBLEM semantics: if any candidate carries a hint, routes whose
+  // path hits the hinted AS/link form a lower tier — used only when no
+  // clean route exists (Avoidance + Backup properties, §3).
+  std::optional<AvoidHint> hint;
+  if (cfg_.honors_avoid_hints) {
+    for (const auto& [n, r] : st.rib_in) {
+      if (r.avoid_hint) {
+        hint = r.avoid_hint;
+        break;
+      }
+    }
+  }
+  const Route* nb = nullptr;
+  bool nb_flagged = false;
+  for (const auto& [n, r] : st.rib_in) {
+    if (cfg_.damping_enabled) {
+      const auto it = st.damping.find(n);
+      if (it != st.damping.end() && it->second.suppressed) continue;
+    }
+    const bool flagged = hint && path_hits_avoid_hint(r.path, *hint);
+    if (nb == nullptr || (nb_flagged && !flagged) ||
+        (nb_flagged == flagged && better_route(r, *nb))) {
+      nb = &r;
+      nb_flagged = flagged;
+    }
+  }
+  const bool changed =
+      (nb == nullptr) != !st.best || (nb != nullptr && st.best && *nb != *st.best);
+  if (changed) {
+    if (nb != nullptr) {
+      st.best = *nb;
+    } else {
+      st.best.reset();
+    }
+  }
+  return changed;
+}
+
+const Route* BgpSpeaker::best_route(const Prefix& prefix) const {
+  const auto* st = find_state(prefix);
+  return st != nullptr && st->best ? &*st->best : nullptr;
+}
+
+std::vector<Route> BgpSpeaker::rib_in(const Prefix& prefix) const {
+  std::vector<Route> out;
+  if (const auto* st = find_state(prefix)) {
+    for (const auto& [n, r] : st->rib_in) out.push_back(r);
+    std::sort(out.begin(), out.end(), [](const Route& a, const Route& b) {
+      return better_route(a, b);
+    });
+  }
+  return out;
+}
+
+FibResult BgpSpeaker::fib_lookup(topo::Ipv4 dst) const {
+  for (int len = 32; len >= 0; --len) {
+    if (!len_present_[len]) continue;
+    const Prefix candidate(dst, static_cast<std::uint8_t>(len));
+    const auto* st = find_state(candidate);
+    if (st == nullptr) continue;
+    if (st->origin) {
+      return FibResult{.has_route = true,
+                       .local = true,
+                       .via_default = false,
+                       .next_hop = id_,
+                       .matched = candidate};
+    }
+    if (st->best) {
+      return FibResult{.has_route = true,
+                       .local = false,
+                       .via_default = false,
+                       .next_hop = forced_egress_.value_or(st->best->neighbor),
+                       .matched = candidate};
+    }
+    // State exists but no usable route: keep searching less specifics —
+    // this is exactly how a captive AS falls back onto the sentinel.
+  }
+  if (cfg_.has_default_route) {
+    if (const auto gw = default_gateway()) {
+      return FibResult{.has_route = true,
+                       .local = false,
+                       .via_default = true,
+                       .next_hop = *gw,
+                       .matched = Prefix(0, 0)};
+    }
+  }
+  return FibResult{};
+}
+
+std::optional<BgpSpeaker::ExportUnit> BgpSpeaker::export_path(
+    const Prefix& prefix, AsId neighbor) const {
+  const auto* st = find_state(prefix);
+  if (st == nullptr) return std::nullopt;
+  const auto nrel = rel_of(neighbor);
+  if (!nrel) return std::nullopt;
+
+  if (st->origin) {
+    const auto& path = st->origin->path_for(neighbor);
+    if (!path) return std::nullopt;
+    return ExportUnit{*path, st->origin->communities,
+                      st->origin->avoid_hint};
+  }
+
+  if (!st->best) return std::nullopt;
+  const Route& best = *st->best;
+  if (best.neighbor == neighbor) return std::nullopt;  // split horizon
+  // Gao-Rexford: customer routes go to everyone; peer/provider routes only
+  // to customers.
+  const bool allowed = best.learned == LearnedFrom::kCustomer ||
+                       *nrel == topo::Rel::kCustomer;
+  if (!allowed) return std::nullopt;
+  ExportUnit out;
+  out.path.reserve(best.path.size() + 1);
+  out.path.push_back(id_);
+  out.path.insert(out.path.end(), best.path.begin(), best.path.end());
+  if (!cfg_.strips_communities) out.communities = best.communities;
+  out.avoid_hint = best.avoid_hint;  // signed hints survive end-to-end
+  return out;
+}
+
+const std::optional<BgpSpeaker::ExportUnit>* BgpSpeaker::last_advertised(
+    const Prefix& prefix, AsId neighbor) const {
+  const auto* st = find_state(prefix);
+  if (st == nullptr) return nullptr;
+  const auto it = st->adj_out.find(neighbor);
+  return it == st->adj_out.end() ? nullptr : &it->second;
+}
+
+void BgpSpeaker::record_advertised(const Prefix& prefix, AsId neighbor,
+                                   std::optional<ExportUnit> unit) {
+  state_for(prefix).adj_out[neighbor] = std::move(unit);
+}
+
+std::vector<Prefix> BgpSpeaker::known_prefixes() const {
+  std::vector<Prefix> out;
+  out.reserve(prefixes_.size());
+  for (const auto& [p, st] : prefixes_) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<double> BgpSpeaker::damping_reuse_delay(const Prefix& prefix,
+                                                      AsId neighbor,
+                                                      double now) const {
+  const auto* st = find_state(prefix);
+  if (st == nullptr) return std::nullopt;
+  const auto it = st->damping.find(neighbor);
+  if (it == st->damping.end() || !it->second.suppressed) return std::nullopt;
+  double penalty = it->second.penalty;
+  double last = it->second.last_update;
+  decay_penalty(penalty, last, now, cfg_.damping_half_life_seconds);
+  if (penalty <= cfg_.damping_reuse_threshold) return 0.0;
+  return cfg_.damping_half_life_seconds *
+         std::log2(penalty / cfg_.damping_reuse_threshold);
+}
+
+bool BgpSpeaker::recheck_damping(const Prefix& prefix, AsId neighbor,
+                                 double now) {
+  auto* st = const_cast<PrefixState*>(find_state(prefix));
+  if (st == nullptr) return false;
+  const auto it = st->damping.find(neighbor);
+  if (it == st->damping.end() || !it->second.suppressed) return false;
+  decay_penalty(it->second.penalty, it->second.last_update, now,
+                cfg_.damping_half_life_seconds);
+  if (it->second.penalty > cfg_.damping_reuse_threshold) return false;
+  it->second.suppressed = false;
+  return recompute_best(prefix, *st);
+}
+
+bool BgpSpeaker::is_suppressed(const Prefix& prefix, AsId neighbor) const {
+  const auto* st = find_state(prefix);
+  if (st == nullptr) return false;
+  const auto it = st->damping.find(neighbor);
+  return it != st->damping.end() && it->second.suppressed;
+}
+
+std::optional<AsId> BgpSpeaker::default_gateway() const {
+  std::optional<AsId> gw;
+  for (const auto& n : graph_->neighbors(id_)) {
+    if (n.rel == topo::Rel::kProvider && (!gw || n.id < *gw)) gw = n.id;
+  }
+  return gw;
+}
+
+}  // namespace lg::bgp

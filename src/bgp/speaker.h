@@ -1,0 +1,181 @@
+// One AS-level BGP speaker: Adj-RIB-In per neighbor, the decision process,
+// Gao-Rexford export policy, origin announcement policies (including crafted
+// poisoned paths), and a longest-prefix-match FIB view.
+//
+// Loop prevention is the paper's lever: when the origin announces O-A-O, A's
+// import filter sees its own ASN and rejects (treating the update as a
+// withdrawal of whatever that neighbor previously advertised), so A and
+// everything captive behind it lose the route while other ASes route around.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/types.h"
+#include "topology/as_graph.h"
+#include "topology/prefix.h"
+
+namespace lg::bgp {
+
+struct SpeakerConfig {
+  // Import is rejected when our own ASN appears >= loop_threshold times in
+  // the received path. Real-world default is 1; ASes that use the public
+  // Internet between sites raise it (§7.1, e.g. AS286 accepts one own-ASN
+  // occurrence, so poisoning them requires inserting their ASN twice).
+  std::size_t loop_threshold = 1;
+  // §7.1 pathological variant: never reject on own ASN.
+  bool loop_detection_disabled = false;
+  // Cogent-style policy: refuse updates from *customers* whose path contains
+  // one of our settlement-free peers (§7.1).
+  bool reject_customer_routes_containing_my_peers = false;
+  // Data-plane default route toward the first provider when no FIB entry
+  // matches (common at stubs; affects poisoning reach, see Bush et al.).
+  bool has_default_route = false;
+  // Do not propagate community attributes on re-exported routes — the
+  // behaviour the paper observed at tier-1s, which breaks communities as a
+  // notification channel (§2.3, [30]).
+  bool strips_communities = false;
+  // Honor AVOID_PROBLEM hints (§3's hypothetical primitive): deprioritize
+  // routes whose paths hit the hinted AS/link, falling back to them only
+  // when nothing else exists.
+  bool honors_avoid_hints = true;
+  // Route-flap damping (RFC 2439 style, simplified): each update from a
+  // neighbor adds a penalty that decays exponentially; past the suppress
+  // threshold the neighbor's route is unusable until the penalty decays to
+  // the reuse threshold. This is why the paper's experiments spaced
+  // announcements 90 minutes apart. Off by default.
+  bool damping_enabled = false;
+  double damping_penalty_per_update = 1000.0;
+  double damping_suppress_threshold = 2000.0;
+  double damping_reuse_threshold = 750.0;
+  double damping_half_life_seconds = 900.0;
+  // Per-neighbor MRAI override; <0 means "use engine default".
+  double mrai_seconds = -1.0;
+};
+
+struct FibResult {
+  bool has_route = false;
+  bool local = false;                 // delivered inside this AS
+  bool via_default = false;           // matched only the default route
+  AsId next_hop = topo::kInvalidAs;   // valid when has_route && !local
+  Prefix matched;                     // matched prefix (unset for default)
+};
+
+class BgpSpeaker {
+ public:
+  BgpSpeaker(AsId id, const topo::AsGraph& graph, SpeakerConfig cfg = {});
+
+  AsId id() const noexcept { return id_; }
+  const SpeakerConfig& config() const noexcept { return cfg_; }
+  SpeakerConfig& mutable_config() noexcept { return cfg_; }
+
+  // ---- Origination ----
+  void set_origin_policy(const Prefix& prefix, OriginPolicy policy);
+  void clear_origin_policy(const Prefix& prefix);
+  bool originates(const Prefix& prefix) const;
+  const OriginPolicy* origin_policy(const Prefix& prefix) const;
+
+  // ---- Import (driven by the engine) ----
+  // Applies import filters and flap damping (at simulated time `now`),
+  // updates Adj-RIB-In, reruns the decision process. Returns true iff the
+  // best route for msg.prefix changed.
+  bool process_update(const UpdateMessage& msg, double now = 0.0);
+
+  // ---- Flap damping (engine-driven timers) ----
+  // Seconds until the suppressed (prefix, neighbor) session decays to its
+  // reuse threshold; nullopt when not suppressed.
+  std::optional<double> damping_reuse_delay(const Prefix& prefix,
+                                            AsId neighbor, double now) const;
+  // Decay the penalty; if it crossed the reuse threshold, unsuppress and
+  // rerun the decision process. Returns true iff the best route changed.
+  bool recheck_damping(const Prefix& prefix, AsId neighbor, double now);
+  bool is_suppressed(const Prefix& prefix, AsId neighbor) const;
+
+  // ---- Views ----
+  const Route* best_route(const Prefix& prefix) const;
+  // All Adj-RIB-In entries for a prefix (diagnostics/tests).
+  std::vector<Route> rib_in(const Prefix& prefix) const;
+  // Longest-prefix-match over origin + best routes. Falls back to the
+  // default route if configured.
+  FibResult fib_lookup(topo::Ipv4 dst) const;
+
+  // One advertisable unit: path + attached attributes.
+  struct ExportUnit {
+    AsPath path;
+    Communities communities;
+    std::optional<AvoidHint> avoid_hint;
+    friend bool operator==(const ExportUnit&, const ExportUnit&) = default;
+  };
+
+  // What we would advertise to `neighbor` right now (nullopt = nothing).
+  std::optional<ExportUnit> export_path(const Prefix& prefix,
+                                        AsId neighbor) const;
+
+  // Adj-RIB-Out bookkeeping (the engine diffs against this when MRAI fires).
+  const std::optional<ExportUnit>* last_advertised(const Prefix& prefix,
+                                                   AsId neighbor) const;
+  void record_advertised(const Prefix& prefix, AsId neighbor,
+                         std::optional<ExportUnit> unit);
+
+  // Prefixes this speaker has any state for.
+  std::vector<Prefix> known_prefixes() const;
+
+  std::optional<topo::Rel> rel_of(AsId neighbor) const {
+    return graph_->relationship(id_, neighbor);
+  }
+
+  // Data-plane egress override: force all transit traffic out via this
+  // neighbor (the knob an edge network turns to repair *forward* path
+  // failures by picking a different provider, §2.3). Cleared with nullopt.
+  void set_forced_egress(std::optional<AsId> neighbor) {
+    forced_egress_ = neighbor;
+  }
+  std::optional<AsId> forced_egress() const noexcept { return forced_egress_; }
+  // First provider (lowest ASN) — target of the default route.
+  std::optional<AsId> default_gateway() const;
+
+  // Import rejection counters (diagnostics).
+  std::uint64_t rejected_loop() const noexcept { return rejected_loop_; }
+  std::uint64_t rejected_peer_filter() const noexcept {
+    return rejected_peer_filter_;
+  }
+  // AVOID_PROBLEM's Notification property: how many announcements named
+  // this AS as the problem (its operators would be alerted).
+  std::uint64_t avoid_notifications() const noexcept {
+    return avoid_notifications_;
+  }
+
+ private:
+  struct DampingState {
+    double penalty = 0.0;
+    double last_update = 0.0;
+    bool suppressed = false;
+  };
+  struct PrefixState {
+    std::unordered_map<AsId, Route> rib_in;
+    std::optional<Route> best;
+    std::optional<OriginPolicy> origin;
+    std::unordered_map<AsId, std::optional<ExportUnit>> adj_out;
+    std::unordered_map<AsId, DampingState> damping;
+  };
+
+  // Returns true if best changed.
+  bool recompute_best(const Prefix& prefix, PrefixState& st);
+  bool import_acceptable(const UpdateMessage& msg) ;
+  PrefixState& state_for(const Prefix& prefix);
+  const PrefixState* find_state(const Prefix& prefix) const;
+
+  AsId id_;
+  const topo::AsGraph* graph_;
+  SpeakerConfig cfg_;
+  std::unordered_map<Prefix, PrefixState, topo::PrefixHash> prefixes_;
+  std::optional<AsId> forced_egress_;
+  bool len_present_[33] = {};
+  std::uint64_t rejected_loop_ = 0;
+  std::uint64_t rejected_peer_filter_ = 0;
+  std::uint64_t avoid_notifications_ = 0;
+};
+
+}  // namespace lg::bgp

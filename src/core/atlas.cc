@@ -1,0 +1,108 @@
+#include "core/atlas.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lg::core {
+
+int PathAtlas::refresh(measure::Prober& prober, const VantagePoint& vp,
+                       Ipv4 target, double now) {
+  ++refreshes_;
+  int recorded = 0;
+
+  const auto tr = prober.traceroute(vp.as, target, vp.addr);
+  // Every responsive hop refreshes the responsiveness DB.
+  for (const auto& hop : tr.hops) {
+    if (hop) note_response(*hop, now);
+  }
+  if (tr.forward_status == dp::DeliveryStatus::kDelivered) {
+    record_forward(vp, target, PathRecord{now, tr.true_hops});
+    ++recorded;
+  }
+
+  if (const auto rev = prober.reverse_traceroute(target, vp.addr)) {
+    record_reverse(vp, target, PathRecord{now, rev->hops});
+    // Only hops that actually answer probes enter the responsiveness DB —
+    // ICMP-deaf routers must stay out of it, or the horizon walk would
+    // mistake "configured to ignore pings" for "cannot reach us" (§4.1.1).
+    for (const auto& hop : rev->hops) {
+      if (prober.target_responds(topo::AddressPlan::router_address(hop))) {
+        note_response(hop, now);
+      }
+    }
+    ++recorded;
+  }
+  return recorded;
+}
+
+void PathAtlas::push(std::deque<PathRecord>& hist, PathRecord record) {
+  // Collapse consecutive identical paths (paths are stable most of the
+  // time [37]; storing duplicates would just age out useful history).
+  if (!hist.empty() && hist.back().hops == record.hops) {
+    hist.back().time = record.time;
+    return;
+  }
+  hist.push_back(std::move(record));
+  while (hist.size() > cfg_.history_depth) hist.pop_front();
+}
+
+void PathAtlas::record_forward(const VantagePoint& vp, Ipv4 target,
+                               PathRecord record) {
+  push(paths_[Key{vp.as, target}].forward, std::move(record));
+}
+
+void PathAtlas::record_reverse(const VantagePoint& vp, Ipv4 target,
+                               PathRecord record) {
+  push(paths_[Key{vp.as, target}].reverse, std::move(record));
+}
+
+const std::deque<PathRecord>* PathAtlas::forward_history(
+    const VantagePoint& vp, Ipv4 target) const {
+  const auto it = paths_.find(Key{vp.as, target});
+  return it == paths_.end() ? nullptr : &it->second.forward;
+}
+
+const std::deque<PathRecord>* PathAtlas::reverse_history(
+    const VantagePoint& vp, Ipv4 target) const {
+  const auto it = paths_.find(Key{vp.as, target});
+  return it == paths_.end() ? nullptr : &it->second.reverse;
+}
+
+const PathRecord* PathAtlas::latest_forward(const VantagePoint& vp,
+                                            Ipv4 target) const {
+  const auto* h = forward_history(vp, target);
+  return h != nullptr && !h->empty() ? &h->back() : nullptr;
+}
+
+const PathRecord* PathAtlas::latest_reverse(const VantagePoint& vp,
+                                            Ipv4 target) const {
+  const auto* h = reverse_history(vp, target);
+  return h != nullptr && !h->empty() ? &h->back() : nullptr;
+}
+
+void PathAtlas::note_response(RouterId router, double now) {
+  auto [it, inserted] = last_response_.try_emplace(router, now);
+  if (!inserted) it->second = std::max(it->second, now);
+}
+
+bool PathAtlas::ever_responded(RouterId router) const {
+  return last_response_.contains(router);
+}
+
+std::vector<RouterId> PathAtlas::candidate_routers(const VantagePoint& vp,
+                                                   Ipv4 target) const {
+  std::unordered_set<RouterId, topo::RouterIdHash> seen;
+  std::vector<RouterId> out;
+  const auto it = paths_.find(Key{vp.as, target});
+  if (it == paths_.end()) return out;
+  for (const auto* hist : {&it->second.forward, &it->second.reverse}) {
+    for (const auto& rec : *hist) {
+      for (const auto& hop : rec.hops) {
+        if (seen.insert(hop).second) out.push_back(hop);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lg::core

@@ -1,0 +1,96 @@
+// Historical path atlas (§4.1.1 "Maintain background atlas").
+//
+// In the steady state LIFEGUARD maps forward and reverse paths between its
+// vantage points and monitored targets with traceroute and reverse
+// traceroute, and records which routers have ever answered probes. During a
+// failure the atlas supplies (a) candidate failure locations — the routers
+// the paths used to cross, (b) the most recent reverse path for horizon
+// analysis, and (c) the never-responds list that distinguishes "unreachable"
+// from "configured to ignore ICMP".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "measure/probes.h"
+#include "measure/vantage.h"
+#include "topology/addressing.h"
+
+namespace lg::core {
+
+using measure::VantagePoint;
+using topo::AsId;
+using topo::Ipv4;
+using topo::RouterId;
+
+struct PathRecord {
+  double time = 0.0;
+  std::vector<RouterId> hops;  // source side first
+};
+
+struct AtlasConfig {
+  // Most-recent records retained per (vantage point, target, direction).
+  std::size_t history_depth = 8;
+};
+
+class PathAtlas {
+ public:
+  explicit PathAtlas(AtlasConfig cfg = {}) : cfg_(cfg) {}
+
+  // One refresh round for a (vp, target) pair at simulated time `now`:
+  // forward traceroute + reverse traceroute + responsiveness bookkeeping.
+  // Returns the number of paths successfully recorded (0-2).
+  int refresh(measure::Prober& prober, const VantagePoint& vp, Ipv4 target,
+              double now);
+
+  void record_forward(const VantagePoint& vp, Ipv4 target, PathRecord record);
+  void record_reverse(const VantagePoint& vp, Ipv4 target, PathRecord record);
+
+  // Histories are ordered oldest -> newest.
+  const std::deque<PathRecord>* forward_history(const VantagePoint& vp,
+                                                Ipv4 target) const;
+  const std::deque<PathRecord>* reverse_history(const VantagePoint& vp,
+                                                Ipv4 target) const;
+  const PathRecord* latest_forward(const VantagePoint& vp, Ipv4 target) const;
+  const PathRecord* latest_reverse(const VantagePoint& vp, Ipv4 target) const;
+
+  // Responsiveness database.
+  void note_response(RouterId router, double now);
+  bool ever_responded(RouterId router) const;
+
+  // All distinct routers appearing in any stored path for (vp, target) —
+  // the isolation candidate set.
+  std::vector<RouterId> candidate_routers(const VantagePoint& vp,
+                                          Ipv4 target) const;
+
+  std::uint64_t refreshes() const noexcept { return refreshes_; }
+
+ private:
+  struct Key {
+    AsId vp_as;
+    Ipv4 target;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.vp_as) << 32) | k.target);
+    }
+  };
+  struct PairHistory {
+    std::deque<PathRecord> forward;
+    std::deque<PathRecord> reverse;
+  };
+
+  void push(std::deque<PathRecord>& hist, PathRecord record);
+
+  AtlasConfig cfg_;
+  std::unordered_map<Key, PairHistory, KeyHash> paths_;
+  std::unordered_map<RouterId, double, topo::RouterIdHash> last_response_;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace lg::core

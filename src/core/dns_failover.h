@@ -1,0 +1,98 @@
+// DNS-redirection repair detection (§7.2 alternative to the sentinel).
+//
+// A provider hosting the same service on multiple prefixes can avoid
+// dedicating sentinel address space: poison only the prefix P1 serving the
+// affected clients, keep a second service prefix P2 unpoisoned (it keeps
+// following the original, broken path), and have DNS hand clients a P2
+// address with P1 as failover. Server logs then reveal when clients start
+// reaching P2 — i.e., when the original path has healed — at which point
+// the poison on P1 can be removed.
+//
+// The scheme relies on clients using the same route toward all of the
+// provider's prefixes absent poisoning; routing_consistent_for() is the
+// §7.2 Google-traceroute check of exactly that property.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/engine.h"
+#include "measure/probes.h"
+#include "topology/addressing.h"
+
+namespace lg::core {
+
+class DnsFailoverMonitor {
+ public:
+  DnsFailoverMonitor(bgp::BgpEngine& engine, measure::Prober& prober,
+                     topo::AsId origin, std::size_t baseline_prepend = 3)
+      : engine_(&engine),
+        prober_(&prober),
+        origin_(origin),
+        prepend_(baseline_prepend),
+        primary_(topo::AddressPlan::production_prefix(origin)),
+        // The adjacent /24 doubles as the second service prefix; it is
+        // announced as its own prefix here, not as a covering less-specific.
+        alternate_(topo::AddressPlan::sentinel_unused_subprefix(origin)) {}
+
+  const topo::Prefix& primary() const noexcept { return primary_; }
+  const topo::Prefix& alternate() const noexcept { return alternate_; }
+
+  // Announce both service prefixes with the prepended baseline.
+  void announce_both() {
+    engine_->originate(origin_, primary_, baseline_policy());
+    engine_->originate(origin_, alternate_, baseline_policy());
+    poisoned_ = false;
+  }
+
+  // Poison only the prefix serving the affected clients.
+  void poison_primary(topo::AsId target) {
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::poisoned_path(
+        origin_, {target}, std::max<std::size_t>(prepend_, 3));
+    engine_->originate(origin_, primary_, policy);
+    poisoned_ = true;
+  }
+
+  void unpoison_primary() {
+    engine_->originate(origin_, primary_, baseline_policy());
+    poisoned_ = false;
+  }
+  bool primary_poisoned() const noexcept { return poisoned_; }
+
+  // The "server log" check: can this client currently reach the alternate
+  // prefix? The alternate still follows the original route, so success
+  // means the underlying failure is repaired.
+  bool client_reaches_alternate(topo::AsId client_as) {
+    const auto service_addr = alternate_.addr() + 1;
+    const auto client_addr = topo::AddressPlan::production_host(client_as);
+    return prober_->ping(client_as, service_addr, client_addr).replied;
+  }
+
+  // §7.2 consistency property: absent poisoning, the client's AS-level path
+  // toward both prefixes must be identical (the paper verified this for
+  // Google from 20 PlanetLab sites).
+  bool routing_consistent_for(topo::AsId client_as) const {
+    const auto& dataplane = prober_->dataplane();
+    const auto p1 = dataplane.forward(client_as, primary_.addr() + 1);
+    const auto p2 = dataplane.forward(client_as, alternate_.addr() + 1);
+    return p1.delivered() && p2.delivered() &&
+           p1.as_path() == p2.as_path();
+  }
+
+ private:
+  bgp::OriginPolicy baseline_policy() const {
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::baseline_path(origin_, prepend_);
+    return policy;
+  }
+
+  bgp::BgpEngine* engine_;
+  measure::Prober* prober_;
+  topo::AsId origin_;
+  std::size_t prepend_;
+  topo::Prefix primary_;
+  topo::Prefix alternate_;
+  bool poisoned_ = false;
+};
+
+}  // namespace lg::core

@@ -1,0 +1,287 @@
+#include "core/lifeguard.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lg::core {
+
+const char* repair_action_name(RepairAction a) noexcept {
+  switch (a) {
+    case RepairAction::kNone:
+      return "none";
+    case RepairAction::kPoison:
+      return "poison";
+    case RepairAction::kSelectivePoison:
+      return "selective-poison";
+    case RepairAction::kEgressShift:
+      return "egress-shift";
+  }
+  return "?";
+}
+
+Lifeguard::Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
+                     measure::Prober& prober, AsId origin, LifeguardConfig cfg)
+    : sched_(&sched),
+      engine_(&engine),
+      prober_(&prober),
+      origin_(origin),
+      cfg_(cfg),
+      vp_(VantagePoint::in_as(origin, "lifeguard-origin")),
+      isolation_(prober, atlas_, cfg.isolation),
+      decider_(engine.graph(), cfg.decision),
+      remediator_(engine, origin, cfg.remediation),
+      sentinel_(prober, origin) {}
+
+void Lifeguard::add_target(topo::Ipv4 addr) {
+  TargetCtx ctx;
+  ctx.addr = addr;
+  ctx.as = topo::AddressPlan::owner_of(addr).value_or(topo::kInvalidAs);
+  targets_.push_back(ctx);
+}
+
+Lifeguard::TargetCtx* Lifeguard::find_target(topo::Ipv4 addr) {
+  for (auto& t : targets_) {
+    if (t.addr == addr) return &t;
+  }
+  return nullptr;
+}
+
+void Lifeguard::start() {
+  if (started_) return;
+  started_ = true;
+  remediator_.announce_baseline();
+  // Let BGP carry the baseline before the first measurement rounds.
+  sched_->after(cfg_.ping_interval, [this] { ping_round(); });
+  sched_->after(cfg_.ping_interval * 2, [this] { atlas_round(); });
+}
+
+void Lifeguard::atlas_round() {
+  for (const auto& target : targets_) {
+    atlas_.refresh(*prober_, vp_, target.addr, sched_->now());
+  }
+  sched_->after(cfg_.atlas_refresh_interval, [this] { atlas_round(); });
+}
+
+void Lifeguard::ping_round() {
+  const double now = sched_->now();
+  for (auto& target : targets_) {
+    if (target.state == TargetState::kRemediated ||
+        target.state == TargetState::kIsolating ||
+        target.state == TargetState::kAwaitingAge) {
+      continue;  // handled by their own continuations
+    }
+    // The paper sends ping pairs; one success counts.
+    const bool ok = prober_->ping(vp_.as, target.addr, vp_.addr).replied ||
+                    prober_->ping(vp_.as, target.addr, vp_.addr).replied;
+    if (ok) {
+      target.consecutive_failures = 0;
+      target.first_failure_at = -1.0;
+      continue;
+    }
+    if (target.consecutive_failures == 0) target.first_failure_at = now;
+    ++target.consecutive_failures;
+    if (target.consecutive_failures >= cfg_.fail_threshold) {
+      on_threshold(target);
+    }
+  }
+  sched_->after(cfg_.ping_interval, [this] { ping_round(); });
+}
+
+void Lifeguard::on_threshold(TargetCtx& target) {
+  const double now = sched_->now();
+  LG_INFO << "outage detected to " << topo::format_ipv4(target.addr)
+          << " (AS " << target.as << "), isolating";
+  OutageRecord record;
+  record.target = target.addr;
+  record.target_as = target.as;
+  record.began_at = target.first_failure_at;
+  record.detected_at = now;
+  record.isolation = isolation_.isolate(vp_, target.addr, helpers_);
+  record.isolated_at = now + record.isolation.modeled_seconds;
+
+  target.state = TargetState::kIsolating;
+  target.open_record = records_.size();
+  records_.push_back(std::move(record));
+
+  const topo::Ipv4 addr = target.addr;
+  sched_->at(records_.back().isolated_at,
+             [this, addr] { decision_point(addr); });
+}
+
+void Lifeguard::decision_point(topo::Ipv4 addr) {
+  TargetCtx* target = find_target(addr);
+  if (target == nullptr || target->open_record == SIZE_MAX) return;
+  OutageRecord& record = records_[target->open_record];
+  const double now = sched_->now();
+
+  // Re-confirm: transient problems resolve while we wait (§4.2).
+  if (prober_->ping(vp_.as, addr, vp_.addr).replied) {
+    record.resolved_without_action = true;
+    record.note = "resolved before remediation";
+    target->state = TargetState::kMonitoring;
+    target->consecutive_failures = 0;
+    target->open_record = SIZE_MAX;
+    return;
+  }
+
+  if (record.isolation.target_reachable || !record.isolation.blamed_as) {
+    record.note = "isolation produced no target to act on";
+    target->state = TargetState::kMonitoring;
+    target->consecutive_failures = 0;
+    target->open_record = SIZE_MAX;
+    return;
+  }
+
+  const double elapsed = now - record.began_at;
+  const AsId sources[] = {record.target_as};
+  record.verdict =
+      decider_.decide(origin_, *record.isolation.blamed_as, elapsed, sources,
+                      record.isolation.blamed_link);
+
+  if (!record.verdict.poison) {
+    if (elapsed < cfg_.decision.min_elapsed_seconds) {
+      // Not old enough yet: hold and re-decide once it is.
+      target->state = TargetState::kAwaitingAge;
+      sched_->at(record.began_at + cfg_.decision.min_elapsed_seconds + 1.0,
+                 [this, addr] { decision_point(addr); });
+      return;
+    }
+    record.note = "declined: " + record.verdict.reason;
+    target->state = TargetState::kMonitoring;
+    target->consecutive_failures = 0;
+    target->open_record = SIZE_MAX;
+    return;
+  }
+
+  if (active_record_.has_value()) {
+    record.note = "another remediation in flight; standing down";
+    target->state = TargetState::kMonitoring;
+    target->consecutive_failures = 0;
+    target->open_record = SIZE_MAX;
+    return;
+  }
+
+  apply_remediation(*target, record);
+}
+
+std::optional<std::vector<AsId>> Lifeguard::selective_poison_plan(
+    AsId blamed, const std::optional<topo::AsLinkKey>& blamed_link,
+    AsId affected_source) const {
+  if (!blamed_link) return std::nullopt;
+  const auto providers = engine_->graph().providers(origin_);
+  if (providers.size() < 2) return std::nullopt;
+  // Find the provider whose chain gives the blamed AS a path to us that
+  // avoids the failing link; poison the blamed AS via every *other*
+  // provider so it converges onto that clean chain.
+  const auto avoid = topo::Avoidance::of_link(blamed_link->a, blamed_link->b);
+  const auto clean_path = decider_.oracle().shortest_path(blamed, origin_, avoid);
+  if (clean_path.size() < 2) return std::nullopt;
+  const AsId keep = clean_path[clean_path.size() - 2];
+  if (std::find(providers.begin(), providers.end(), keep) == providers.end()) {
+    return std::nullopt;  // the clean chain does not end at one of our providers
+  }
+  // The affected source must actually benefit: it needs a policy path to us
+  // around the link too.
+  if (!decider_.oracle().reachable(affected_source, origin_, avoid)) {
+    return std::nullopt;
+  }
+  std::vector<AsId> poisoned_via;
+  for (const AsId p : providers) {
+    if (p != keep) poisoned_via.push_back(p);
+  }
+  return poisoned_via;
+}
+
+void Lifeguard::apply_remediation(TargetCtx& target, OutageRecord& record) {
+  const double now = sched_->now();
+  const AsId blamed = *record.isolation.blamed_as;
+
+  if (record.isolation.direction == FailureDirection::kForward) {
+    // Forward failures: reroute our own egress away from the blamed AS.
+    std::optional<AsId> alternative;
+    for (const AsId provider : engine_->graph().providers(origin_)) {
+      if (provider == blamed) continue;
+      if (decider_.oracle().reachable(provider, record.target_as,
+                                      topo::Avoidance::of_as(blamed))) {
+        alternative = provider;
+        break;
+      }
+    }
+    if (!alternative) {
+      record.note = "no alternate egress avoids the blamed AS";
+      target.state = TargetState::kMonitoring;
+      target.consecutive_failures = 0;
+      target.open_record = SIZE_MAX;
+      return;
+    }
+    engine_->speaker(origin_).set_forced_egress(alternative);
+    record.action = RepairAction::kEgressShift;
+  } else if (const auto providers_for_selective =
+                 selective_poison_plan(blamed, record.isolation.blamed_link,
+                                       record.target_as);
+             providers_for_selective.has_value()) {
+    // Link-level blame with disjoint provider chains: steer the blamed AS
+    // off the failing link without cutting it off (Fig. 3).
+    remediator_.selective_poison(blamed, *providers_for_selective);
+    record.action = RepairAction::kSelectivePoison;
+  } else {
+    remediator_.poison(blamed);
+    record.action = RepairAction::kPoison;
+  }
+  record.remediated_at = now;
+  target.state = TargetState::kRemediated;
+  active_record_ = target.open_record;
+  LG_INFO << "remediation applied (" << repair_action_name(record.action)
+          << " of AS " << blamed << ") for "
+          << topo::format_ipv4(record.target);
+
+  const topo::Ipv4 addr = record.target;
+  sched_->after(cfg_.sentinel_check_interval,
+                [this, addr] { sentinel_round(addr); });
+}
+
+void Lifeguard::sentinel_round(topo::Ipv4 addr) {
+  TargetCtx* target = find_target(addr);
+  if (target == nullptr || target->state != TargetState::kRemediated) return;
+  OutageRecord& record = records_[target->open_record];
+
+  bool repaired = false;
+  if (record.action == RepairAction::kEgressShift) {
+    // Re-test the original forward path by probing with the forced egress
+    // temporarily cleared; clear-and-restore is race-free in the
+    // single-threaded simulator.
+    auto& speaker = engine_->speaker(origin_);
+    const auto forced = speaker.forced_egress();
+    speaker.set_forced_egress(std::nullopt);
+    repaired = prober_->ping(vp_.as, addr, vp_.addr).replied;
+    speaker.set_forced_egress(forced);
+  } else {
+    repaired = sentinel_.original_path_repaired(addr);
+  }
+
+  if (repaired) {
+    record.repaired_at = sched_->now();
+    revert(*target, record);
+    return;
+  }
+  sched_->after(cfg_.sentinel_check_interval,
+                [this, addr] { sentinel_round(addr); });
+}
+
+void Lifeguard::revert(TargetCtx& target, OutageRecord& record) {
+  if (record.action == RepairAction::kEgressShift) {
+    engine_->speaker(origin_).set_forced_egress(std::nullopt);
+  } else {
+    remediator_.unpoison();
+  }
+  record.reverted_at = sched_->now();
+  LG_INFO << "original path healed; reverted to baseline for "
+          << topo::format_ipv4(record.target);
+  target.state = TargetState::kMonitoring;
+  target.consecutive_failures = 0;
+  target.open_record = SIZE_MAX;
+  active_record_.reset();
+}
+
+}  // namespace lg::core

@@ -1,0 +1,139 @@
+// The LIFEGUARD system: continuous monitoring, failure detection, isolation,
+// remediation, and repair detection, orchestrated over the simulation
+// scheduler.
+//
+// Lifecycle per monitored target (§4):
+//   monitor (pings every 30 s)
+//     -> threshold of consecutive failures crossed: run isolation
+//     -> wait until the outage is old enough that it is unlikely to
+//        self-resolve (§4.2), re-confirming it still exists
+//     -> decide: poison the blamed AS (reverse/bidirectional failures),
+//        or shift egress provider (forward failures), or stand down
+//     -> while remediated, probe the original path via the sentinel;
+//        when it heals, revert to the baseline announcement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/engine.h"
+#include "core/atlas.h"
+#include "core/decision.h"
+#include "core/isolation.h"
+#include "core/remediation.h"
+#include "core/sentinel.h"
+#include "measure/probes.h"
+#include "measure/vantage.h"
+#include "util/scheduler.h"
+
+namespace lg::core {
+
+struct LifeguardConfig {
+  double ping_interval = 30.0;
+  int fail_threshold = 4;  // consecutive failed rounds => outage (~2 min)
+  double atlas_refresh_interval = 600.0;
+  double sentinel_check_interval = 120.0;
+  DecisionConfig decision;
+  IsolationConfig isolation;
+  RemediatorConfig remediation;
+};
+
+enum class RepairAction : std::uint8_t {
+  kNone,
+  kPoison,
+  kSelectivePoison,
+  kEgressShift,
+};
+const char* repair_action_name(RepairAction a) noexcept;
+
+struct OutageRecord {
+  topo::Ipv4 target = 0;
+  AsId target_as = topo::kInvalidAs;
+  double began_at = -1.0;     // first failed ping round
+  double detected_at = -1.0;  // threshold crossed
+  double isolated_at = -1.0;
+  IsolationResult isolation;
+  PoisonVerdict verdict;
+  RepairAction action = RepairAction::kNone;
+  double remediated_at = -1.0;  // poison/egress shift applied
+  double repaired_at = -1.0;    // sentinel saw the original path heal
+  double reverted_at = -1.0;    // baseline announcement restored
+  bool resolved_without_action = false;
+  std::string note;
+};
+
+class Lifeguard {
+ public:
+  Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
+            measure::Prober& prober, AsId origin, LifeguardConfig cfg = {});
+
+  void add_target(topo::Ipv4 addr);
+  void set_helpers(std::vector<VantagePoint> helpers) {
+    helpers_ = std::move(helpers);
+  }
+
+  // Announce baseline prefixes and begin the monitoring loops.
+  void start();
+
+  const std::vector<OutageRecord>& outages() const noexcept { return records_; }
+  PathAtlas& atlas() noexcept { return atlas_; }
+  Remediator& remediator() noexcept { return remediator_; }
+  const VantagePoint& vantage() const noexcept { return vp_; }
+  bool is_remediating() const noexcept { return active_record_.has_value(); }
+
+ private:
+  enum class TargetState : std::uint8_t {
+    kMonitoring,
+    kIsolating,
+    kAwaitingAge,
+    kRemediated,
+  };
+  struct TargetCtx {
+    topo::Ipv4 addr = 0;
+    AsId as = topo::kInvalidAs;
+    TargetState state = TargetState::kMonitoring;
+    int consecutive_failures = 0;
+    double first_failure_at = -1.0;
+    std::size_t open_record = SIZE_MAX;
+  };
+
+  void ping_round();
+  void atlas_round();
+  void on_threshold(TargetCtx& target);
+  void decision_point(topo::Ipv4 addr);
+  void sentinel_round(topo::Ipv4 addr);
+  void apply_remediation(TargetCtx& target, OutageRecord& record);
+  // When isolation blamed a specific inter-AS link and our provider chains
+  // are disjoint enough, returns the providers to poison through (everyone
+  // except the one giving the blamed AS a clean path) — Fig. 3's selective
+  // poisoning. nullopt = not applicable, fall back to a full poison.
+  std::optional<std::vector<AsId>> selective_poison_plan(
+      AsId blamed, const std::optional<topo::AsLinkKey>& blamed_link,
+      AsId affected_source) const;
+  void revert(TargetCtx& target, OutageRecord& record);
+  TargetCtx* find_target(topo::Ipv4 addr);
+
+  util::Scheduler* sched_;
+  bgp::BgpEngine* engine_;
+  measure::Prober* prober_;
+  AsId origin_;
+  LifeguardConfig cfg_;
+  VantagePoint vp_;
+  PathAtlas atlas_;
+  IsolationEngine isolation_;
+  PoisonDecider decider_;
+  Remediator remediator_;
+  SentinelMonitor sentinel_;
+  std::vector<VantagePoint> helpers_;
+  std::vector<TargetCtx> targets_;
+  std::vector<OutageRecord> records_;
+  // Index of the record currently holding a remediation (one at a time —
+  // the deployment poisons one prefix per problem).
+  std::optional<std::size_t> active_record_;
+  bool started_ = false;
+};
+
+}  // namespace lg::core

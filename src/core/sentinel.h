@@ -1,0 +1,49 @@
+// Sentinel-based repair detection (§4.2).
+//
+// While the production prefix is poisoned, live traffic avoids the blamed
+// AS — so the production prefix itself can no longer observe whether the
+// original path has been fixed. The sentinel less-specific still follows
+// the old (unpoisoned) route. Probing monitored destinations with replies
+// addressed *into the unused portion of the sentinel* exercises exactly the
+// failed path: when those probes start succeeding, the underlying problem
+// is repaired and the poison can be removed.
+#pragma once
+
+#include "measure/probes.h"
+#include "topology/addressing.h"
+
+namespace lg::core {
+
+class SentinelMonitor {
+ public:
+  SentinelMonitor(measure::Prober& prober, topo::AsId origin)
+      : prober_(&prober),
+        origin_(origin),
+        probe_source_(topo::AddressPlan::sentinel_probe_source(origin)) {}
+
+  // Does the pre-poison path to `dst` work again? The echo request leaves
+  // the origin normally; the reply is addressed to the unused sentinel
+  // space, so it follows the sentinel (baseline) route — through the
+  // poisoned AS if that is where the original path went.
+  bool original_path_repaired(topo::Ipv4 dst) {
+    return prober_->ping(origin_, dst, probe_source_).replied;
+  }
+
+  // Fallback when no unused sentinel space exists (§7.2): ping a router
+  // inside the poisoned AS (or one of its captives); a reply via the
+  // less-specific shows the AS regained a working path toward us.
+  bool poisoned_as_reaches_us(topo::AsId poisoned_as) {
+    const auto core_addr = topo::AddressPlan::router_address(
+        topo::RouterId{poisoned_as, 0});
+    return prober_->ping(origin_, core_addr, probe_source_).replied;
+  }
+
+  topo::Ipv4 probe_source() const noexcept { return probe_source_; }
+
+ private:
+  measure::Prober* prober_;
+  topo::AsId origin_;
+  topo::Ipv4 probe_source_;
+};
+
+}  // namespace lg::core

@@ -1,0 +1,61 @@
+#include "dataplane/failures.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lg::dp {
+
+std::string Failure::str() const {
+  std::string out;
+  if (at_as) {
+    out = "blackhole at AS " + std::to_string(*at_as);
+  } else if (at_link) {
+    out = "link failure " + std::to_string(at_link->a) + "-" +
+          std::to_string(at_link->b);
+    if (direction_from) out += " from " + std::to_string(*direction_from);
+  }
+  if (toward_as) out += " toward AS " + std::to_string(*toward_as);
+  return out;
+}
+
+FailureId FailureInjector::inject(Failure failure) {
+  if (failure.at_as.has_value() == failure.at_link.has_value()) {
+    throw std::invalid_argument(
+        "failure must name exactly one of at_as / at_link");
+  }
+  const FailureId id = next_id_++;
+  active_.emplace_back(id, std::move(failure));
+  return id;
+}
+
+bool FailureInjector::clear(FailureId id) {
+  const auto it =
+      std::find_if(active_.begin(), active_.end(),
+                   [id](const auto& entry) { return entry.first == id; });
+  if (it == active_.end()) return false;
+  active_.erase(it);
+  return true;
+}
+
+bool FailureInjector::scope_matches(const Failure& f, AsId dst_owner) {
+  return !f.toward_as || *f.toward_as == dst_owner;
+}
+
+bool FailureInjector::drops_at_as(AsId as, AsId dst_owner) const {
+  for (const auto& [id, f] : active_) {
+    if (f.at_as && *f.at_as == as && scope_matches(f, dst_owner)) return true;
+  }
+  return false;
+}
+
+bool FailureInjector::drops_on_link(AsId from, AsId to, AsId dst_owner) const {
+  for (const auto& [id, f] : active_) {
+    if (!f.at_link) continue;
+    if (*f.at_link != topo::AsLinkKey(from, to)) continue;
+    if (f.direction_from && *f.direction_from != from) continue;
+    if (scope_matches(f, dst_owner)) return true;
+  }
+  return false;
+}
+
+}  // namespace lg::dp

@@ -1,0 +1,41 @@
+#include "dataplane/router_net.h"
+
+#include <stdexcept>
+
+namespace lg::dp {
+
+std::uint8_t RouterNet::num_routers(AsId as) const {
+  switch (graph_->tier(as)) {
+    case topo::AsTier::kTier1:
+      return 6;
+    case topo::AsTier::kTransit:
+      return 4;
+    case topo::AsTier::kStub:
+      return 2;
+  }
+  return 2;
+}
+
+RouterId RouterNet::border(AsId as, AsId neighbor) const {
+  const std::uint8_t n = num_routers(as);
+  if (n <= 1) return RouterId{as, 0};
+  // Mix the pair; avoid index 0 so the core stays distinct from borders.
+  std::uint64_t h = (static_cast<std::uint64_t>(as) << 32) | neighbor;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  const auto idx = static_cast<std::uint8_t>(1 + h % (n - 1));
+  return RouterId{as, idx};
+}
+
+std::vector<RouterId> RouterNet::intra_path(RouterId from, RouterId to) const {
+  if (from.as != to.as) {
+    throw std::invalid_argument("intra_path spans two ASes");
+  }
+  if (from.index == to.index) return {from};
+  // Borders connect through the core PoP unless one endpoint is the core.
+  if (from.index == 0 || to.index == 0) return {from, to};
+  return {from, core(from.as), to};
+}
+
+}  // namespace lg::dp

@@ -1,0 +1,47 @@
+// Router-level expansion of the AS graph.
+//
+// Failure isolation (§4.1) reasons about *router* hops: traceroutes return
+// router interfaces, the atlas stores them, and the reachability horizon is
+// drawn between routers. Each AS therefore gets a small deterministic router
+// cloud: router 0 is the "core" (hosts and probe targets attach there) and
+// each inter-AS link lands on a deterministic border router, so a packet
+// crossing AS A between neighbors N1 and N2 shows up as 1-3 router hops
+// inside A, exactly the granularity real traceroutes give.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/addressing.h"
+#include "topology/as_graph.h"
+
+namespace lg::dp {
+
+using topo::AsId;
+using topo::RouterId;
+
+class RouterNet {
+ public:
+  explicit RouterNet(const topo::AsGraph& graph) : graph_(&graph) {}
+
+  // Routers per AS, by tier: tier-1s and transits have richer PoP structure.
+  std::uint8_t num_routers(AsId as) const;
+
+  RouterId core(AsId as) const { return RouterId{as, 0}; }
+
+  // The border router of `as` on its link to `neighbor`. Deterministic hash
+  // so paths are stable across runs; distinct neighbors usually map to
+  // distinct borders in multi-router ASes.
+  RouterId border(AsId as, AsId neighbor) const;
+
+  // Router-level hops crossing `as` from `from` to `to` (inclusive of both);
+  // inserts the core when entering and leaving via different borders.
+  std::vector<RouterId> intra_path(RouterId from, RouterId to) const;
+
+  const topo::AsGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  const topo::AsGraph* graph_;
+};
+
+}  // namespace lg::dp

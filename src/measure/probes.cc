@@ -1,0 +1,145 @@
+#include "measure/probes.h"
+
+namespace lg::measure {
+
+std::optional<RouterId> TracerouteResult::last_responsive() const {
+  for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+    if (it->has_value()) return **it;
+  }
+  return std::nullopt;
+}
+
+std::optional<AsId> TracerouteResult::last_responsive_as() const {
+  const auto r = last_responsive();
+  return r ? std::optional<AsId>(r->as) : std::nullopt;
+}
+
+std::vector<AsId> TracerouteResult::responsive_as_path() const {
+  std::vector<AsId> out;
+  for (const auto& hop : hops) {
+    if (!hop) continue;
+    if (out.empty() || out.back() != hop->as) out.push_back(hop->as);
+  }
+  return out;
+}
+
+RouterId Prober::responder_for(Ipv4 dst, AsId final_as) const {
+  if (const auto r = topo::AddressPlan::router_of(dst); r && r->as == final_as) {
+    return *r;
+  }
+  return dp_->net().core(final_as);
+}
+
+bool Prober::target_responds(Ipv4 addr) const {
+  if (const auto r = topo::AddressPlan::router_of(addr)) {
+    return resp_->router_responds(*r);
+  }
+  return true;  // hosts in production/sentinel space always answer
+}
+
+PingResult Prober::ping_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
+                             std::optional<AsId> first_hop) {
+  PingResult result;
+  result.forward = dp_->forward(src_as, dst, std::nullopt, first_hop);
+  result.forward_delivered = result.forward.delivered();
+  if (!result.forward_delivered) return result;
+
+  const RouterId responder = responder_for(dst, result.forward.final_as);
+  const bool is_router = topo::AddressPlan::router_of(dst).has_value();
+  result.responder_answered =
+      (!is_router || resp_->router_responds(responder)) &&
+      !resp_->rate_limited();
+  if (!result.responder_answered) return result;
+
+  result.reverse = dp_->forward(result.forward.final_as, reply_to, responder);
+  result.reverse_delivered = result.reverse.delivered();
+  result.replied = result.reverse_delivered;
+  return result;
+}
+
+PingResult Prober::ping(AsId src_as, Ipv4 dst, Ipv4 reply_to) {
+  ++budget_.pings;
+  return ping_impl(src_as, dst, reply_to);
+}
+
+PingResult Prober::spoofed_ping(AsId src_as, Ipv4 dst, Ipv4 receiver_addr) {
+  ++budget_.spoofed_pings;
+  return ping_impl(src_as, dst, receiver_addr);
+}
+
+PingResult Prober::ping_via(AsId src_as, AsId first_hop, Ipv4 dst,
+                            Ipv4 reply_to) {
+  ++budget_.pings;
+  return ping_impl(src_as, dst, reply_to, first_hop);
+}
+
+TracerouteResult Prober::traceroute_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
+                                         bool spoofed) {
+  TracerouteResult result;
+  const auto fwd = dp_->forward(src_as, dst);
+  result.forward_status = fwd.status;
+  result.true_hops = fwd.hops;
+
+  // One TTL-limited probe per traversed hop. The hop is visible only if the
+  // router answers TTL-exceeded AND its reply finds a working path back to
+  // `reply_to` — the second condition is what makes traceroute misleading
+  // during reverse-path failures (§2.3, §5.3).
+  for (const auto& hop : fwd.hops) {
+    auto& counter =
+        spoofed ? budget_.spoofed_traceroute_probes : budget_.traceroute_probes;
+    ++counter;
+    const bool answers = resp_->router_responds(hop) && !resp_->rate_limited();
+    if (!answers) {
+      result.hops.push_back(std::nullopt);
+      continue;
+    }
+    const auto reply = dp_->forward(hop.as, reply_to, hop);
+    if (reply.delivered()) {
+      result.hops.push_back(hop);
+    } else {
+      result.hops.push_back(std::nullopt);
+    }
+  }
+
+  if (fwd.delivered()) {
+    // The final destination's echo reply, subject to the same conditions.
+    const RouterId responder = responder_for(dst, fwd.final_as);
+    const bool is_router = topo::AddressPlan::router_of(dst).has_value();
+    const bool answers =
+        (!is_router || resp_->router_responds(responder)) &&
+        !resp_->rate_limited();
+    if (answers) {
+      const auto reply = dp_->forward(fwd.final_as, reply_to, responder);
+      result.destination_replied = reply.delivered();
+    }
+  }
+  return result;
+}
+
+TracerouteResult Prober::traceroute(AsId src_as, Ipv4 dst, Ipv4 reply_to) {
+  return traceroute_impl(src_as, dst, reply_to, /*spoofed=*/false);
+}
+
+TracerouteResult Prober::spoofed_traceroute(AsId src_as, Ipv4 dst,
+                                            Ipv4 receiver_addr) {
+  return traceroute_impl(src_as, dst, receiver_addr, /*spoofed=*/true);
+}
+
+std::optional<dp::ForwardResult> Prober::reverse_traceroute(Ipv4 from,
+                                                            Ipv4 to_addr) {
+  // Amortized measurement cost from §5.4: ~10 IP-option probes plus ~2
+  // forward traceroutes per refreshed reverse path.
+  budget_.option_probes += 10;
+  budget_.traceroute_probes += 2;
+
+  const auto owner = topo::AddressPlan::owner_of(from);
+  if (!owner) return std::nullopt;
+  if (!target_responds(from)) return std::nullopt;
+
+  std::optional<RouterId> from_router = topo::AddressPlan::router_of(from);
+  auto path = dp_->forward(*owner, to_addr, from_router);
+  if (!path.delivered()) return std::nullopt;
+  return path;
+}
+
+}  // namespace lg::measure

@@ -1,0 +1,23 @@
+#include "measure/responsiveness.h"
+
+namespace lg::measure {
+
+bool Responsiveness::router_responds(topo::RouterId router) const {
+  if (cfg_.never_respond_frac <= 0.0) return true;
+  std::uint64_t h = (static_cast<std::uint64_t>(router.as) << 8) |
+                    router.index;
+  h ^= cfg_.seed;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  const double u =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  return u >= cfg_.never_respond_frac;
+}
+
+bool Responsiveness::rate_limited() {
+  if (cfg_.rate_limit_drop_prob <= 0.0) return false;
+  return rng_.bernoulli(cfg_.rate_limit_drop_prob);
+}
+
+}  // namespace lg::measure

@@ -1,0 +1,78 @@
+#include "topology/addressing.h"
+
+#include <stdexcept>
+
+namespace lg::topo {
+
+namespace {
+constexpr Ipv4 kProductionBase = 0x0A000000;  // 10.0.0.0/8
+constexpr Ipv4 kInfraBase = 0x0B000000;  // 11.0.0.0/8 simulation infra space
+
+void check_as(AsId as) {
+  if (as == kInvalidAs || as > AddressPlan::kMaxAsId) {
+    throw std::out_of_range("AS id outside address plan: " +
+                            std::to_string(as));
+  }
+}
+}  // namespace
+
+Prefix AddressPlan::production_prefix(AsId as) {
+  check_as(as);
+  return Prefix(kProductionBase + (static_cast<Ipv4>(as) << 9), 24);
+}
+
+Prefix AddressPlan::sentinel_prefix(AsId as) {
+  check_as(as);
+  return Prefix(kProductionBase + (static_cast<Ipv4>(as) << 9), 23);
+}
+
+Prefix AddressPlan::sentinel_unused_subprefix(AsId as) {
+  check_as(as);
+  return Prefix(kProductionBase + (static_cast<Ipv4>(as) << 9) + 256, 24);
+}
+
+Prefix AddressPlan::infrastructure_prefix(AsId as) {
+  check_as(as);
+  return Prefix(kInfraBase + (static_cast<Ipv4>(as) << 8), 24);
+}
+
+Ipv4 AddressPlan::production_host(AsId as) {
+  return production_prefix(as).addr() + 1;
+}
+
+Ipv4 AddressPlan::sentinel_probe_source(AsId as) {
+  return sentinel_unused_subprefix(as).addr() + 1;
+}
+
+Ipv4 AddressPlan::router_address(RouterId router) {
+  check_as(router.as);
+  if (router.index >= kMaxRoutersPerAs) {
+    throw std::out_of_range("router index too large");
+  }
+  return infrastructure_prefix(router.as).addr() + 1 + router.index;
+}
+
+std::optional<RouterId> AddressPlan::router_of(Ipv4 addr) {
+  if ((addr & Prefix::mask(8)) != kInfraBase) return std::nullopt;
+  const AsId as = (addr & ~Prefix::mask(8)) >> 8;
+  const Ipv4 host = addr & 0xff;
+  if (as == kInvalidAs || as > kMaxAsId) return std::nullopt;
+  if (host == 0 || host > kMaxRoutersPerAs) return std::nullopt;
+  return RouterId{as, static_cast<std::uint8_t>(host - 1)};
+}
+
+std::optional<AsId> AddressPlan::owner_of(Ipv4 addr) {
+  if ((addr & Prefix::mask(8)) == kProductionBase) {
+    const AsId as = (addr & ~Prefix::mask(8)) >> 9;
+    if (as != kInvalidAs && as <= kMaxAsId) return as;
+    return std::nullopt;
+  }
+  if ((addr & Prefix::mask(8)) == kInfraBase) {
+    const AsId as = (addr & ~Prefix::mask(8)) >> 8;
+    if (as != kInvalidAs && as <= kMaxAsId) return as;
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lg::topo

@@ -1,0 +1,67 @@
+// Deterministic address plan for the simulated Internet.
+//
+// Each AS owns:
+//  * a production /24 carrying "real" traffic (the prefix LIFEGUARD poisons),
+//  * a covering /23 usable as the sentinel less-specific — its upper /24 is
+//    deliberately unused, mirroring the paper's deployment where responses
+//    from the unused portion of the sentinel always route via the sentinel
+//    announcement (§4.2, §7.2),
+//  * an infrastructure /24 whose addresses number the AS's routers; these are
+//    what traceroute hops and ping targets resolve to.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "topology/as_graph.h"
+#include "topology/prefix.h"
+
+namespace lg::topo {
+
+struct RouterId {
+  AsId as = kInvalidAs;
+  std::uint8_t index = 0;  // router number within the AS
+
+  friend bool operator==(const RouterId&, const RouterId&) = default;
+};
+
+struct RouterIdHash {
+  std::size_t operator()(const RouterId& r) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(r.as) << 8) | r.index);
+  }
+};
+
+class AddressPlan {
+ public:
+  // The plan is purely arithmetic: AS ids index fixed carve-outs of
+  // 10.0.0.0/8 (production + sentinel) and 11.0.0.0/8 (infrastructure).
+  // Supports AS ids up to kMaxAsId.
+  static constexpr AsId kMaxAsId = 32000;
+  static constexpr std::uint8_t kMaxRoutersPerAs = 16;
+
+  // Production /24: lower half of the AS's /23 block in 10/8.
+  static Prefix production_prefix(AsId as);
+  // Sentinel /23 covering the production /24 plus an unused /24.
+  static Prefix sentinel_prefix(AsId as);
+  // The unused /24 inside the sentinel (upper half).
+  static Prefix sentinel_unused_subprefix(AsId as);
+  // Infrastructure /24 for the AS's routers.
+  static Prefix infrastructure_prefix(AsId as);
+
+  // A representative host address inside the production prefix (used as the
+  // ping target for "a destination in AS X").
+  static Ipv4 production_host(AsId as);
+  // A source address in the unused sentinel space (paper: sentinel pings are
+  // sourced from the unused portion so replies follow the sentinel route).
+  static Ipv4 sentinel_probe_source(AsId as);
+
+  static Ipv4 router_address(RouterId router);
+  static std::optional<RouterId> router_of(Ipv4 addr);
+
+  // Which AS originates the prefix covering `addr` (production, sentinel or
+  // infrastructure space), if any.
+  static std::optional<AsId> owner_of(Ipv4 addr);
+};
+
+}  // namespace lg::topo

@@ -1,0 +1,218 @@
+#include "topology/as_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace lg::topo {
+
+Rel reverse(Rel r) noexcept {
+  switch (r) {
+    case Rel::kCustomer:
+      return Rel::kProvider;
+    case Rel::kProvider:
+      return Rel::kCustomer;
+    case Rel::kPeer:
+      return Rel::kPeer;
+  }
+  return Rel::kPeer;
+}
+
+const char* rel_name(Rel r) noexcept {
+  switch (r) {
+    case Rel::kCustomer:
+      return "customer";
+    case Rel::kProvider:
+      return "provider";
+    case Rel::kPeer:
+      return "peer";
+  }
+  return "?";
+}
+
+const char* tier_name(AsTier t) noexcept {
+  switch (t) {
+    case AsTier::kTier1:
+      return "tier1";
+    case AsTier::kTransit:
+      return "transit";
+    case AsTier::kStub:
+      return "stub";
+  }
+  return "?";
+}
+
+void AsGraph::add_as(AsId id, AsTier tier) {
+  if (id == kInvalidAs) throw std::invalid_argument("AS id 0 is reserved");
+  const auto [it, inserted] = nodes_.try_emplace(id);
+  if (!inserted) throw std::invalid_argument("duplicate AS " + std::to_string(id));
+  it->second.tier = tier;
+}
+
+void AsGraph::add_link(AsId a, AsId b, Rel rel_of_b_to_a) {
+  if (a == b) throw std::invalid_argument("self-link on AS " + std::to_string(a));
+  const auto ita = nodes_.find(a);
+  const auto itb = nodes_.find(b);
+  if (ita == nodes_.end() || itb == nodes_.end()) {
+    throw std::invalid_argument("link references unknown AS");
+  }
+  if (!links_.insert(AsLinkKey(a, b)).second) {
+    throw std::invalid_argument("duplicate link " + std::to_string(a) + "-" +
+                                std::to_string(b));
+  }
+  ita->second.neighbors.push_back({b, rel_of_b_to_a});
+  itb->second.neighbors.push_back({a, reverse(rel_of_b_to_a)});
+}
+
+std::optional<Rel> AsGraph::relationship(AsId a, AsId b) const {
+  const auto it = nodes_.find(a);
+  if (it == nodes_.end()) return std::nullopt;
+  for (const auto& n : it->second.neighbors) {
+    if (n.id == b) return n.rel;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Neighbor>& AsGraph::neighbors(AsId id) const {
+  static const std::vector<Neighbor> kEmpty;
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? kEmpty : it->second.neighbors;
+}
+
+namespace {
+std::vector<AsId> filter_neighbors(const std::vector<Neighbor>& ns, Rel want) {
+  std::vector<AsId> out;
+  for (const auto& n : ns) {
+    if (n.rel == want) out.push_back(n.id);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<AsId> AsGraph::customers(AsId id) const {
+  return filter_neighbors(neighbors(id), Rel::kCustomer);
+}
+std::vector<AsId> AsGraph::providers(AsId id) const {
+  return filter_neighbors(neighbors(id), Rel::kProvider);
+}
+std::vector<AsId> AsGraph::peers(AsId id) const {
+  return filter_neighbors(neighbors(id), Rel::kPeer);
+}
+
+AsTier AsGraph::tier(AsId id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("unknown AS");
+  return it->second.tier;
+}
+
+void AsGraph::set_tier(AsId id, AsTier tier) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::out_of_range("unknown AS");
+  it->second.tier = tier;
+}
+
+std::vector<AsId> AsGraph::as_ids() const {
+  std::vector<AsId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<AsId> AsGraph::as_ids_with_tier(AsTier t) const {
+  std::vector<AsId> out;
+  for (const auto& [id, node] : nodes_) {
+    if (node.tier == t) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<AsLinkKey> AsGraph::links() const {
+  std::vector<AsLinkKey> out(links_.begin(), links_.end());
+  std::sort(out.begin(), out.end(), [](const AsLinkKey& x, const AsLinkKey& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return out;
+}
+
+void AsGraph::reclassify_tiers() {
+  for (auto& [id, node] : nodes_) {
+    bool has_provider = false;
+    bool has_customer = false;
+    for (const auto& n : node.neighbors) {
+      has_provider |= n.rel == Rel::kProvider;
+      has_customer |= n.rel == Rel::kCustomer;
+    }
+    if (!has_provider) {
+      node.tier = AsTier::kTier1;
+    } else if (has_customer) {
+      node.tier = AsTier::kTransit;
+    } else {
+      node.tier = AsTier::kStub;
+    }
+  }
+}
+
+std::optional<std::string> AsGraph::validate() const {
+  if (nodes_.empty()) return "graph has no ASes";
+  // Tier-1 ASes must have no providers; stubs must have no customers.
+  for (const auto& [id, node] : nodes_) {
+    for (const auto& n : node.neighbors) {
+      if (node.tier == AsTier::kTier1 && n.rel == Rel::kProvider) {
+        return "tier-1 AS " + std::to_string(id) + " has a provider";
+      }
+      if (node.tier == AsTier::kStub && n.rel == Rel::kCustomer) {
+        return "stub AS " + std::to_string(id) + " has a customer";
+      }
+    }
+  }
+  // Every AS must reach a tier-1 by walking provider edges (no orphan
+  // islands), which is what makes default-free routing possible.
+  std::unordered_set<AsId> reaches_t1;
+  std::deque<AsId> queue;
+  for (const auto& [id, node] : nodes_) {
+    if (node.tier == AsTier::kTier1) {
+      reaches_t1.insert(id);
+      queue.push_back(id);
+    }
+  }
+  if (reaches_t1.empty()) return "graph has no tier-1 AS";
+  while (!queue.empty()) {
+    const AsId cur = queue.front();
+    queue.pop_front();
+    for (const auto& n : neighbors(cur)) {
+      // n is a customer of cur => n can reach tier-1 via its provider chain.
+      if (n.rel == Rel::kCustomer && reaches_t1.insert(n.id).second) {
+        queue.push_back(n.id);
+      }
+    }
+  }
+  for (const auto& [id, node] : nodes_) {
+    if (!reaches_t1.contains(id)) {
+      return "AS " + std::to_string(id) + " has no provider path to a tier-1";
+    }
+  }
+  // The customer-provider hierarchy must be acyclic.
+  std::unordered_map<AsId, int> state;  // 0 unseen, 1 in-stack, 2 done
+  std::vector<AsId> stack;
+  std::function<bool(AsId)> dfs = [&](AsId u) {
+    state[u] = 1;
+    for (const auto& n : neighbors(u)) {
+      if (n.rel != Rel::kCustomer) continue;  // walk provider->customer edges
+      const int s = state[n.id];
+      if (s == 1) return false;
+      if (s == 0 && !dfs(n.id)) return false;
+    }
+    state[u] = 2;
+    return true;
+  };
+  for (const auto& [id, node] : nodes_) {
+    if (state[id] == 0 && !dfs(id)) {
+      return "customer-provider cycle involving AS " + std::to_string(id);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lg::topo

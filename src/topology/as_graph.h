@@ -1,0 +1,101 @@
+// AS-level topology annotated with Gao-Rexford business relationships.
+//
+// Every routing decision in the simulator (export filters, local preference)
+// and LIFEGUARD's a-priori alternate-path check (§5.1: remove the poisoned
+// AS's links, test valley-free reachability) operates on this graph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lg::topo {
+
+using AsId = std::uint32_t;
+inline constexpr AsId kInvalidAs = 0;  // ASN 0 is reserved; we use it as null.
+
+// Relationship of a neighbor *to me*: my kCustomer pays me, my kProvider is
+// paid by me, my kPeer settles free.
+enum class Rel : std::uint8_t { kCustomer, kProvider, kPeer };
+
+Rel reverse(Rel r) noexcept;
+const char* rel_name(Rel r) noexcept;
+
+// Coarse role in the hierarchy, assigned by the generator and recomputable
+// from the graph (no providers => tier-1, no customers => stub).
+enum class AsTier : std::uint8_t { kTier1, kTransit, kStub };
+const char* tier_name(AsTier t) noexcept;
+
+struct Neighbor {
+  AsId id = kInvalidAs;
+  Rel rel = Rel::kPeer;  // what `id` is to me
+};
+
+// Undirected AS adjacency; canonical form has a < b.
+struct AsLinkKey {
+  AsId a = kInvalidAs;
+  AsId b = kInvalidAs;
+  AsLinkKey() = default;
+  AsLinkKey(AsId x, AsId y) : a(x < y ? x : y), b(x < y ? y : x) {}
+  friend bool operator==(const AsLinkKey&, const AsLinkKey&) = default;
+};
+
+struct AsLinkKeyHash {
+  std::size_t operator()(const AsLinkKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.a) << 32) | k.b);
+  }
+};
+
+class AsGraph {
+ public:
+  // Adds an AS; id must be nonzero and unique.
+  void add_as(AsId id, AsTier tier = AsTier::kStub);
+  bool has_as(AsId id) const { return nodes_.contains(id); }
+
+  // Adds an undirected link; `rel_of_b_to_a` is what b is from a's view
+  // (e.g. Rel::kProvider means b provides transit to a).
+  void add_link(AsId a, AsId b, Rel rel_of_b_to_a);
+  bool has_link(AsId a, AsId b) const {
+    return links_.contains(AsLinkKey(a, b));
+  }
+  // Relationship of b as seen from a, if the link exists.
+  std::optional<Rel> relationship(AsId a, AsId b) const;
+
+  const std::vector<Neighbor>& neighbors(AsId id) const;
+  std::vector<AsId> customers(AsId id) const;
+  std::vector<AsId> providers(AsId id) const;
+  std::vector<AsId> peers(AsId id) const;
+  std::size_t degree(AsId id) const { return neighbors(id).size(); }
+
+  AsTier tier(AsId id) const;
+  void set_tier(AsId id, AsTier tier);
+
+  std::vector<AsId> as_ids() const;           // sorted for determinism
+  std::vector<AsId> as_ids_with_tier(AsTier t) const;
+  std::vector<AsLinkKey> links() const;       // sorted for determinism
+  std::size_t num_ases() const noexcept { return nodes_.size(); }
+  std::size_t num_links() const noexcept { return links_.size(); }
+
+  // Recompute tiers from the relationship structure.
+  void reclassify_tiers();
+
+  // Sanity invariants (connected via some relationship, tier-1s form
+  // providers-free set, every non-tier-1 AS has a provider path to a tier-1).
+  // Returns an explanation of the first violation, or nullopt if clean.
+  std::optional<std::string> validate() const;
+
+ private:
+  struct Node {
+    AsTier tier = AsTier::kStub;
+    std::vector<Neighbor> neighbors;
+  };
+  std::unordered_map<AsId, Node> nodes_;
+  std::unordered_set<AsLinkKey, AsLinkKeyHash> links_;
+};
+
+}  // namespace lg::topo

@@ -1,0 +1,227 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lg::topo {
+
+namespace {
+
+// Weighted pick by current degree + 1 (preferential attachment).
+AsId pick_preferential(const AsGraph& g, const std::vector<AsId>& pool,
+                       util::Rng& rng, const std::vector<AsId>& exclude) {
+  std::vector<AsId> candidates;
+  std::vector<double> weights;
+  double total = 0.0;
+  for (const AsId id : pool) {
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end())
+      continue;
+    const double w = static_cast<double>(g.degree(id)) + 1.0;
+    candidates.push_back(id);
+    weights.push_back(w);
+    total += w;
+  }
+  if (candidates.empty()) throw std::runtime_error("empty provider pool");
+  double x = rng.uniform01() * total;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return candidates[i];
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+GeneratedTopology generate_topology(const TopologyParams& params) {
+  if (params.num_tier1 < 2) throw std::invalid_argument("need >= 2 tier-1s");
+  GeneratedTopology topo;
+  util::Rng rng(params.seed, /*stream=*/0x70706f6cULL);
+  AsId next_id = 1;
+
+  auto make_level = [&](std::uint32_t n, AsTier tier) {
+    std::vector<AsId> ids;
+    ids.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      topo.graph.add_as(next_id, tier);
+      ids.push_back(next_id++);
+    }
+    return ids;
+  };
+
+  topo.tier1 = make_level(params.num_tier1, AsTier::kTier1);
+  topo.large_transit = make_level(params.num_large_transit, AsTier::kTransit);
+  topo.small_transit = make_level(params.num_small_transit, AsTier::kTransit);
+  topo.stubs = make_level(params.num_stubs, AsTier::kStub);
+
+  // Tier-1 full peering clique (the default-free zone).
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      topo.graph.add_link(topo.tier1[i], topo.tier1[j], Rel::kPeer);
+    }
+  }
+
+  // Large transit: 2-3 providers among tier-1s (clamped to availability),
+  // peering among themselves.
+  for (const AsId id : topo.large_transit) {
+    const int nprov =
+        std::min(static_cast<int>(topo.tier1.size()),
+                 static_cast<int>(2 + rng.uniform_u32(2)));  // 2..3
+    std::vector<AsId> chosen;
+    for (int k = 0; k < nprov; ++k) {
+      chosen.push_back(pick_preferential(topo.graph, topo.tier1, rng, chosen));
+      topo.graph.add_link(id, chosen.back(), Rel::kProvider);
+    }
+  }
+  for (std::size_t i = 0; i < topo.large_transit.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.large_transit.size(); ++j) {
+      if (rng.bernoulli(params.large_transit_peer_prob)) {
+        topo.graph.add_link(topo.large_transit[i], topo.large_transit[j],
+                            Rel::kPeer);
+      }
+    }
+  }
+
+  // Small transit: 1-3 providers among tier-1 + large transit (weighted
+  // toward large transit, which is where regional ISPs attach), sparse
+  // peering among themselves.
+  std::vector<AsId> upper = topo.tier1;
+  upper.insert(upper.end(), topo.large_transit.begin(),
+               topo.large_transit.end());
+  for (const AsId id : topo.small_transit) {
+    const int nprov =
+        std::min(static_cast<int>(upper.size()),
+                 static_cast<int>(1 + rng.uniform_u32(3)));  // 1..3
+    std::vector<AsId> chosen;
+    for (int k = 0; k < nprov; ++k) {
+      chosen.push_back(pick_preferential(topo.graph, upper, rng, chosen));
+      topo.graph.add_link(id, chosen.back(), Rel::kProvider);
+    }
+  }
+  for (std::size_t i = 0; i < topo.small_transit.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.small_transit.size(); ++j) {
+      if (rng.bernoulli(params.small_transit_peer_prob)) {
+        topo.graph.add_link(topo.small_transit[i], topo.small_transit[j],
+                            Rel::kPeer);
+      }
+    }
+  }
+
+  // Stubs: 1-3 providers among transit ASes.
+  std::vector<AsId> transit_pool = topo.large_transit;
+  transit_pool.insert(transit_pool.end(), topo.small_transit.begin(),
+                      topo.small_transit.end());
+  for (const AsId id : topo.stubs) {
+    std::vector<AsId> chosen;
+    chosen.push_back(pick_preferential(topo.graph, transit_pool, rng, chosen));
+    topo.graph.add_link(id, chosen.back(), Rel::kProvider);
+    if (rng.bernoulli(params.stub_second_provider_prob)) {
+      chosen.push_back(
+          pick_preferential(topo.graph, transit_pool, rng, chosen));
+      topo.graph.add_link(id, chosen.back(), Rel::kProvider);
+      if (rng.bernoulli(params.stub_third_provider_prob)) {
+        chosen.push_back(
+            pick_preferential(topo.graph, transit_pool, rng, chosen));
+        topo.graph.add_link(id, chosen.back(), Rel::kProvider);
+      }
+    }
+  }
+
+  // BGP-Mux-style origins: one provider in each of `mux_provider_count`
+  // distinct large-transit ASes, approximating disjoint upstream chains.
+  for (std::uint32_t i = 0; i < params.num_mux_origins; ++i) {
+    if (params.mux_provider_count > topo.large_transit.size()) {
+      throw std::invalid_argument("not enough large transits for mux origin");
+    }
+    topo.graph.add_as(next_id, AsTier::kStub);
+    const AsId mux = next_id++;
+    const auto picks = rng.sample_without_replacement(
+        topo.large_transit.size(), params.mux_provider_count);
+    for (const auto idx : picks) {
+      topo.graph.add_link(mux, topo.large_transit[idx], Rel::kProvider);
+    }
+    topo.mux_origins.push_back(mux);
+    topo.stubs.push_back(mux);
+  }
+
+  if (const auto err = topo.graph.validate()) {
+    throw std::runtime_error("generated topology invalid: " + *err);
+  }
+  return topo;
+}
+
+Fig2Topology make_fig2_topology() {
+  // Relationships chosen so the paper's routing tables emerge from default
+  // policy: E prefers the shorter provider route via A (A-B-O) over the
+  // longer one via D (D-C-B-O); F is single-homed behind A ("captive").
+  Fig2Topology t;
+  t.o = 10;
+  t.a = 20;
+  t.b = 30;
+  t.c = 40;
+  t.d = 50;
+  t.e = 60;
+  t.f = 70;
+  t.graph.add_as(t.a, AsTier::kTier1);
+  t.graph.add_as(t.c, AsTier::kTier1);
+  t.graph.add_as(t.b, AsTier::kTransit);
+  t.graph.add_as(t.d, AsTier::kTransit);
+  t.graph.add_as(t.o, AsTier::kStub);
+  t.graph.add_as(t.e, AsTier::kStub);
+  t.graph.add_as(t.f, AsTier::kStub);
+  t.graph.add_link(t.o, t.b, Rel::kProvider);  // B provides transit to O
+  t.graph.add_link(t.b, t.a, Rel::kProvider);  // A provides transit to B
+  t.graph.add_link(t.b, t.c, Rel::kProvider);  // C provides transit to B
+  t.graph.add_link(t.c, t.d, Rel::kCustomer);  // D is C's customer
+  t.graph.add_link(t.a, t.c, Rel::kPeer);      // tier-1 peering
+  t.graph.add_link(t.e, t.a, Rel::kProvider);  // E multihomed to A and D
+  t.graph.add_link(t.e, t.d, Rel::kProvider);
+  t.graph.add_link(t.f, t.a, Rel::kProvider);  // F captive behind A
+  if (const auto err = t.graph.validate()) {
+    throw std::runtime_error("fig2 topology invalid: " + *err);
+  }
+  return t;
+}
+
+Fig3Topology make_fig3_topology() {
+  // O multihomed to D1/D2; A reaches O via two disjoint customer chains
+  // (B1-D1 and B2-D2). B2 gets the numerically lower ASN so that A's
+  // tie-break initially selects the path through B2 — the scenario then
+  // steers traffic off the A-B2 link by poisoning A only via D2.
+  Fig3Topology t;
+  t.a = 100;
+  t.b2 = 110;
+  t.b1 = 120;
+  t.c1 = 130;
+  t.c2 = 140;
+  t.c3 = 150;
+  t.c4 = 160;
+  t.d1 = 170;
+  t.d2 = 180;
+  t.o = 190;
+  t.graph.add_as(t.a, AsTier::kTier1);
+  t.graph.add_as(t.b1, AsTier::kTransit);
+  t.graph.add_as(t.b2, AsTier::kTransit);
+  t.graph.add_as(t.d1, AsTier::kTransit);
+  t.graph.add_as(t.d2, AsTier::kTransit);
+  t.graph.add_as(t.c1, AsTier::kStub);
+  t.graph.add_as(t.c2, AsTier::kStub);
+  t.graph.add_as(t.c3, AsTier::kStub);
+  t.graph.add_as(t.c4, AsTier::kStub);
+  t.graph.add_as(t.o, AsTier::kStub);
+  t.graph.add_link(t.b1, t.a, Rel::kProvider);   // A provides to B1, B2
+  t.graph.add_link(t.b2, t.a, Rel::kProvider);
+  t.graph.add_link(t.d1, t.b1, Rel::kProvider);  // B1 provides to D1
+  t.graph.add_link(t.d2, t.b2, Rel::kProvider);  // B2 provides to D2
+  t.graph.add_link(t.o, t.d1, Rel::kProvider);   // O multihomed
+  t.graph.add_link(t.o, t.d2, Rel::kProvider);
+  t.graph.add_link(t.c1, t.b1, Rel::kProvider);
+  t.graph.add_link(t.c2, t.a, Rel::kProvider);
+  t.graph.add_link(t.c3, t.a, Rel::kProvider);
+  t.graph.add_link(t.c4, t.b2, Rel::kProvider);
+  if (const auto err = t.graph.validate()) {
+    throw std::runtime_error("fig3 topology invalid: " + *err);
+  }
+  return t;
+}
+
+}  // namespace lg::topo

@@ -1,0 +1,83 @@
+// Synthetic Internet-like AS topology generator.
+//
+// Substitute for the paper's real-Internet substrate (BGP feeds + BitTorrent
+// traceroute AS graph): a three-level hierarchy — a tier-1 peering clique,
+// transit ASes attached by preferential attachment (giving the heavy-tailed
+// degree distribution observed in the real AS graph), and multihomed stubs —
+// all annotated with customer/provider/peer relationships so that policy
+// routing and poisoning behave as they do in the wild.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/as_graph.h"
+#include "util/rng.h"
+
+namespace lg::topo {
+
+struct TopologyParams {
+  std::uint32_t num_tier1 = 8;
+  std::uint32_t num_large_transit = 30;
+  std::uint32_t num_small_transit = 120;
+  std::uint32_t num_stubs = 600;
+
+  // Peering link probabilities within/between transit levels.
+  double large_transit_peer_prob = 0.20;
+  double small_transit_peer_prob = 0.03;
+
+  // Provider counts: large transit pick 2-3 tier-1/large providers; small
+  // transit pick 1-3 from tier-1/large; stubs pick per these probabilities.
+  double stub_second_provider_prob = 0.40;
+  double stub_third_provider_prob = 0.10;
+
+  // BGP-Mux-style origins: stubs with exactly `mux_provider_count`
+  // providers, each in a *distinct* large-transit AS — the multi-PoP,
+  // one-provider-per-PoP deployment the paper uses for selective poisoning
+  // (§5.2). Listed in GeneratedTopology::mux_origins.
+  std::uint32_t num_mux_origins = 0;
+  std::uint32_t mux_provider_count = 5;
+
+  std::uint64_t seed = 42;
+};
+
+struct GeneratedTopology {
+  AsGraph graph;
+  std::vector<AsId> tier1;
+  std::vector<AsId> large_transit;
+  std::vector<AsId> small_transit;
+  std::vector<AsId> stubs;
+  std::vector<AsId> mux_origins;  // also included in `stubs`
+
+  std::vector<AsId> transit() const {
+    std::vector<AsId> out = large_transit;
+    out.insert(out.end(), small_transit.begin(), small_transit.end());
+    return out;
+  }
+};
+
+// Generates a valid topology (GeneratedTopology::graph passes validate()).
+GeneratedTopology generate_topology(const TopologyParams& params);
+
+// Tiny fixed topologies used by unit tests and the paper's illustrative
+// figures.
+//
+// Figure 2 of the paper: origin O with provider B; B has provider A and peer
+// C; E is a customer of A and C (multi-homed); F is a stub customer of A
+// ("captive"); D is a customer of C and provider of E... exact shape below.
+struct Fig2Topology {
+  AsGraph graph;
+  AsId o = 0, a = 0, b = 0, c = 0, d = 0, e = 0, f = 0;
+};
+Fig2Topology make_fig2_topology();
+
+// Figure 3 of the paper: origin O multihomed to D1 and D2, which reach A via
+// disjoint paths (D1-B1-A, D2-B2-A); C1..C4 single/multi-homed around them.
+struct Fig3Topology {
+  AsGraph graph;
+  AsId o = 0, a = 0, b1 = 0, b2 = 0, c1 = 0, c2 = 0, c3 = 0, c4 = 0, d1 = 0,
+       d2 = 0;
+};
+Fig3Topology make_fig3_topology();
+
+}  // namespace lg::topo

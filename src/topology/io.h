@@ -1,0 +1,33 @@
+// Serialization of AS graphs in the CAIDA AS-relationships format, so that
+// real Internet topologies (CAIDA serial-1/serial-2 dumps) or hand-written
+// fixtures can be loaded instead of the synthetic generator:
+//
+//   # comment lines start with '#'
+//   <provider-as>|<customer-as>|-1
+//   <peer-as>|<peer-as>|0
+//
+// Loading reclassifies tiers from the relationship structure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/as_graph.h"
+
+namespace lg::topo {
+
+// Render the graph in CAIDA format (deterministic link order).
+std::string to_caida(const AsGraph& graph);
+void write_caida(const AsGraph& graph, std::ostream& out);
+
+// Parse CAIDA format. Throws std::invalid_argument with a line-numbered
+// message on malformed input (bad field counts, unknown relationship codes,
+// self-links, duplicate links).
+AsGraph from_caida(const std::string& text);
+AsGraph read_caida(std::istream& in);
+
+// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_caida_file(const AsGraph& graph, const std::string& path);
+AsGraph load_caida_file(const std::string& path);
+
+}  // namespace lg::topo

@@ -1,0 +1,53 @@
+#include "topology/prefix.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace lg::topo {
+
+std::string format_ipv4(Ipv4 addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4> parse_ipv4(const std::string& s) {
+  const auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  Ipv4 addr = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned value = 0;
+    for (const char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value > 255) return std::nullopt;
+    addr = (addr << 8) | value;
+  }
+  return addr;
+}
+
+std::optional<Prefix> Prefix::parse(const std::string& cidr) {
+  const auto slash = cidr.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  const auto ip = parse_ipv4(cidr.substr(0, slash));
+  if (!ip) return std::nullopt;
+  const std::string len_str = cidr.substr(slash + 1);
+  if (len_str.empty() || len_str.size() > 2) return std::nullopt;
+  unsigned len = 0;
+  for (const char c : len_str) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Prefix(*ip, static_cast<std::uint8_t>(len));
+}
+
+std::string Prefix::str() const {
+  return format_ipv4(addr_) + "/" + std::to_string(len_);
+}
+
+}  // namespace lg::topo

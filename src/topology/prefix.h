@@ -1,0 +1,124 @@
+// IPv4 prefixes and longest-prefix-match tables.
+//
+// LIFEGUARD's remediation hinges on prefix relationships: the origin poisons
+// its *production* prefix while announcing a covering *sentinel* less-specific
+// so that ASes captive behind the poisoned AS retain a (backup) route, and so
+// that repair of the original path can be detected. Longest-prefix-match in
+// every FIB is what makes that work, so it is modelled exactly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lg::topo {
+
+using Ipv4 = std::uint32_t;
+
+// Parse/format dotted-quad (helpers for logs and tests).
+std::string format_ipv4(Ipv4 addr);
+std::optional<Ipv4> parse_ipv4(const std::string& s);
+
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+  // Constructs addr/len with host bits cleared.
+  constexpr Prefix(Ipv4 addr, std::uint8_t len) noexcept
+      : addr_(len == 0 ? 0 : (addr & mask(len))), len_(len > 32 ? 32 : len) {}
+
+  static std::optional<Prefix> parse(const std::string& cidr);
+
+  constexpr Ipv4 addr() const noexcept { return addr_; }
+  constexpr std::uint8_t length() const noexcept { return len_; }
+
+  static constexpr Ipv4 mask(std::uint8_t len) noexcept {
+    return len == 0 ? 0 : ~Ipv4{0} << (32 - len);
+  }
+
+  constexpr bool contains(Ipv4 ip) const noexcept {
+    return (ip & mask(len_)) == addr_;
+  }
+  // True if `other` is equal to or more specific than *this.
+  constexpr bool covers(const Prefix& other) const noexcept {
+    return other.len_ >= len_ && contains(other.addr_);
+  }
+
+  // The covering prefix one bit shorter (e.g. /24 -> /23).
+  constexpr Prefix parent() const noexcept {
+    return len_ == 0 ? *this : Prefix(addr_, static_cast<std::uint8_t>(len_ - 1));
+  }
+
+  // First address in the prefix (used as a representative probe target).
+  constexpr Ipv4 first_address() const noexcept { return addr_; }
+  constexpr Ipv4 last_address() const noexcept {
+    return addr_ | ~mask(len_);
+  }
+
+  std::string str() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept =
+      default;
+
+ private:
+  Ipv4 addr_ = 0;
+  std::uint8_t len_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.addr()) << 8) | p.length());
+  }
+};
+
+// Longest-prefix-match table. Lookups scan prefix lengths from most to least
+// specific; with at most 33 hash probes per lookup this is plenty fast for
+// simulation scale while staying obviously correct.
+template <typename T>
+class PrefixTable {
+ public:
+  void insert(const Prefix& p, T value) {
+    auto [it, inserted] = entries_.try_emplace(p, std::move(value));
+    if (!inserted) it->second = std::move(value);
+    if (!present_[p.length()]) present_[p.length()] = true;
+  }
+
+  bool erase(const Prefix& p) { return entries_.erase(p) != 0; }
+
+  const T* exact(const Prefix& p) const {
+    const auto it = entries_.find(p);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  T* exact(const Prefix& p) {
+    const auto it = entries_.find(p);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  // Longest-prefix match for a single address. Returns the matched prefix and
+  // value, or nullopt if nothing covers `ip`.
+  std::optional<std::pair<Prefix, const T*>> lookup(Ipv4 ip) const {
+    for (int len = 32; len >= 0; --len) {
+      if (!present_[len]) continue;
+      const Prefix candidate(ip, static_cast<std::uint8_t>(len));
+      const auto it = entries_.find(candidate);
+      if (it != entries_.end()) return {{candidate, &it->second}};
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  std::unordered_map<Prefix, T, PrefixHash> entries_;
+  bool present_[33] = {};
+};
+
+}  // namespace lg::topo

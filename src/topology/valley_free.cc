@@ -1,0 +1,124 @@
+#include "topology/valley_free.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace lg::topo {
+
+namespace {
+
+// BFS state: which AS we are at and whether we may still travel "up"
+// (customer->provider) or "across" (one peer edge). After the first down or
+// across move only provider->customer edges are legal.
+enum class Phase : std::uint8_t { kUp = 0, kDown = 1 };
+
+struct SearchState {
+  AsId as;
+  Phase phase;
+};
+
+std::uint64_t state_key(const SearchState& s) {
+  return (static_cast<std::uint64_t>(s.as) << 1) |
+         static_cast<std::uint64_t>(s.phase);
+}
+
+}  // namespace
+
+bool ValleyFreeOracle::reachable(AsId src, AsId dst,
+                                 const Avoidance& avoid) const {
+  return !shortest_path(src, dst, avoid).empty();
+}
+
+std::vector<AsId> ValleyFreeOracle::shortest_path(
+    AsId src, AsId dst, const Avoidance& avoid) const {
+  if (!graph_->has_as(src) || !graph_->has_as(dst)) return {};
+  if (avoid.blocks_as(src) || avoid.blocks_as(dst)) return {};
+  if (src == dst) return {src};
+
+  // Dense parent table when AS ids are compact (the generator issues
+  // sequential ids); the BFS is the hot path of the §5.1 bulk simulation.
+  std::uint64_t max_id = 0;
+  for (const AsId id : {src, dst}) max_id = std::max<std::uint64_t>(max_id, id);
+  // Conservative bound: ids seen while expanding may exceed src/dst.
+  std::vector<std::uint64_t> dense;
+  std::unordered_map<std::uint64_t, std::uint64_t> sparse;
+  constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+  const std::size_t dense_limit = 1 << 21;  // ~2M states max for dense mode
+
+  auto ensure = [&](std::uint64_t key) -> std::uint64_t& {
+    if (key < dense_limit) {
+      if (dense.size() <= key) dense.resize(std::min<std::size_t>(dense_limit, std::max<std::size_t>(key + 1, dense.size() * 2 + 64)), kUnset);
+      return dense[key];
+    }
+    return sparse.try_emplace(key, kUnset).first->second;
+  };
+
+  std::deque<SearchState> queue;
+  const SearchState start{src, Phase::kUp};
+  ensure(state_key(start)) = state_key(start);
+  queue.push_back(start);
+
+  auto reconstruct = [&](SearchState end) {
+    std::vector<AsId> path;
+    std::uint64_t cur = state_key(end);
+    while (true) {
+      path.push_back(static_cast<AsId>(cur >> 1));
+      const std::uint64_t prev =
+          cur < dense_limit ? dense[cur] : sparse.at(cur);
+      if (prev == cur) break;
+      cur = prev;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  while (!queue.empty()) {
+    const SearchState cur = queue.front();
+    queue.pop_front();
+    for (const auto& n : graph_->neighbors(cur.as)) {
+      if (avoid.blocks_as(n.id) || avoid.blocks_link(cur.as, n.id)) continue;
+      SearchState next{n.id, Phase::kDown};
+      if (cur.phase == Phase::kUp) {
+        if (n.rel == Rel::kProvider) {
+          next.phase = Phase::kUp;  // still climbing
+        }
+        // peer or customer edge: transitions to kDown (handled by default)
+      } else {
+        if (n.rel != Rel::kCustomer) continue;  // only downhill after apex
+      }
+      const auto key = state_key(next);
+      auto& slot = ensure(key);
+      if (slot != kUnset) continue;
+      slot = state_key(cur);
+      if (n.id == dst) return reconstruct(next);
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+void ObservedTripleSet::add_path(std::span<const AsId> path) {
+  if (path.size() < 3) return;
+  for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+    triples_.insert(Key{path[i], path[i + 1], path[i + 2]});
+    // Observing a path in one direction implies the reverse export chain is
+    // plausible for the splice test as well; the paper checks the AS subpath
+    // of length three in observed traceroutes which flow both directions
+    // between PlanetLab sites, so we record the reversed triple too.
+    triples_.insert(Key{path[i + 2], path[i + 1], path[i]});
+  }
+}
+
+bool ObservedTripleSet::contains(AsId a, AsId b, AsId c) const {
+  return triples_.contains(Key{a, b, c});
+}
+
+bool ObservedTripleSet::path_valid(std::span<const AsId> path) const {
+  if (path.size() < 3) return true;
+  for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+    if (!contains(path[i], path[i + 1], path[i + 2])) return false;
+  }
+  return true;
+}
+
+}  // namespace lg::topo

@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace lg::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (!enabled(level)) return;
+  if (now_ != nullptr) {
+    std::fprintf(stderr, "[%10.2f] %-5s %s\n", now_(), level_name(level),
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "%-5s %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace lg::util

@@ -1,0 +1,48 @@
+#include "util/scheduler.h"
+
+#include <algorithm>
+
+namespace lg::util {
+
+std::uint64_t Scheduler::at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_events_;
+  return id;
+}
+
+bool Scheduler::cancel(std::uint64_t id) {
+  const auto erased = callbacks_.erase(id);
+  if (erased != 0) --live_events_;
+  return erased != 0;
+}
+
+bool Scheduler::step(SimTime until) {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    if (ev.when > until) return false;
+    queue_.pop();
+    const auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // tombstone of a cancelled event
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_events_;
+    now_ = std::max(now_, ev.when);
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(SimTime until) {
+  std::size_t n = 0;
+  while (step(until)) ++n;
+  // Advance the clock to the bound: everything due before it has run.
+  if (until != kForever && now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace lg::util

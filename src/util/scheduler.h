@@ -1,0 +1,79 @@
+// Discrete-event scheduler driving the whole simulation: BGP message
+// propagation (with per-session delays and MRAI timers), probe round-trips,
+// LIFEGUARD's monitoring rounds, and failure injection all run as events on
+// one virtual clock.
+//
+// Time is a double in *seconds* of simulated time. Events at equal timestamps
+// execute in insertion order (stable), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace lg::util {
+
+using SimTime = double;
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  // Schedule `cb` to run at absolute time `when` (clamped to now()).
+  // Returns an id usable with cancel().
+  std::uint64_t at(SimTime when, Callback cb);
+
+  // Schedule `cb` to run `delay` seconds from now.
+  std::uint64_t after(SimTime delay, Callback cb) {
+    return at(now_ + delay, std::move(cb));
+  }
+
+  // Cancel a pending event. Returns false if already fired or unknown.
+  bool cancel(std::uint64_t id);
+
+  // Run until the queue drains or `until` is reached (whichever first).
+  // Returns the number of events executed.
+  std::size_t run(SimTime until = kForever);
+
+  // Execute exactly one event if any is pending before `until`.
+  bool step(SimTime until = kForever);
+
+  bool empty() const noexcept { return live_events_ == 0; }
+  std::size_t pending() const noexcept { return live_events_; }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  static constexpr SimTime kForever = 1e300;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // id -> callback; erased on fire/cancel. Cancelled events stay in the
+  // priority queue as tombstones and are skipped when popped.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace lg::util

@@ -1,0 +1,198 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace lg::util {
+
+void Summary::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ += delta * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Summary::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const noexcept { return std::sqrt(variance()); }
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+double EmpiricalCdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double EmpiricalCdf::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double EmpiricalCdf::mass_fraction_above(double x) const {
+  const double total = sum();
+  if (total <= 0.0) return 0.0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  const double above = std::accumulate(it, samples_.end(), 0.0);
+  return above / total;
+}
+
+double EmpiricalCdf::mean_residual(double x) const {
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  if (it == samples_.end()) return 0.0;
+  const auto n = static_cast<double>(samples_.end() - it);
+  const double s = std::accumulate(it, samples_.end(), 0.0);
+  return s / n - x;
+}
+
+double EmpiricalCdf::residual_quantile(double x, double q) const {
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  if (it == samples_.end()) return 0.0;
+  const auto n = static_cast<std::size_t>(samples_.end() - it);
+  q = std::clamp(q, 0.0, 1.0);
+  auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  return *(it + static_cast<std::ptrdiff_t>(rank)) - x;
+}
+
+std::size_t EmpiricalCdf::count_above(double x) const {
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<std::size_t>(samples_.end() - it);
+}
+
+const std::vector<double>& EmpiricalCdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto nbins = static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * nbins);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
+}
+
+double Histogram::bin_low(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const noexcept {
+  return bin_low(i + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream os;
+  std::size_t max_count = 1;
+  for (const auto c : counts_) max_count = std::max(max_count, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = counts_[i] * width / max_count;
+    os << "[" << bin_low(i) << ", " << bin_high(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ != 0) os << "underflow: " << underflow_ << "\n";
+  if (overflow_ != 0) os << "overflow: " << overflow_ << "\n";
+  return os.str();
+}
+
+std::uint64_t Tally::get(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t Tally::total() const {
+  std::uint64_t t = 0;
+  for (const auto& [k, v] : counts_) t += v;
+  return t;
+}
+
+double Tally::fraction(const std::string& key) const {
+  const auto t = total();
+  return t == 0 ? 0.0 : static_cast<double>(get(key)) / static_cast<double>(t);
+}
+
+}  // namespace lg::util

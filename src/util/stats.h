@@ -1,0 +1,116 @@
+// Descriptive statistics used by the experiment harnesses: streaming moment
+// accumulation, empirical CDFs (the paper reports nearly everything as a CDF
+// or a quantile), and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lg::util {
+
+// Streaming mean/variance/min/max via Welford's algorithm.
+class Summary {
+ public:
+  void add(double x) noexcept;
+  void merge(const Summary& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // sample variance (n-1)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Empirical distribution over an explicit sample set. Samples are stored and
+// sorted lazily; suitable for the tens of thousands of observations the
+// experiments produce.
+class EmpiricalCdf {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  // P[X <= x].
+  double cdf(double x) const;
+  // Inverse CDF; q in [0, 1]. Uses the nearest-rank method.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+
+  // Fraction of the *total mass* (sum of samples) contributed by samples
+  // strictly greater than x. This is how Fig. 1's dotted line is defined:
+  // share of total unavailability due to outages longer than x.
+  double mass_fraction_above(double x) const;
+
+  // Mean of (X - x) over samples with X > x: expected residual beyond x.
+  // Used for Fig. 5 (residual outage duration).
+  double mean_residual(double x) const;
+  // Quantile of the residual distribution beyond x.
+  double residual_quantile(double x, double q) const;
+  // Number of samples strictly greater than x.
+  std::size_t count_above(double x) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-width binned histogram for rendering ASCII distributions in bench
+// output.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_low(std::size_t i) const noexcept;
+  double bin_high(std::size_t i) const noexcept;
+
+  // Multi-line ASCII rendering, one row per bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+// Counter keyed by string, for tallying categorical outcomes in experiments.
+class Tally {
+ public:
+  void add(const std::string& key, std::uint64_t n = 1) { counts_[key] += n; }
+  std::uint64_t get(const std::string& key) const;
+  std::uint64_t total() const;
+  double fraction(const std::string& key) const;
+  const std::map<std::string, std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace lg::util

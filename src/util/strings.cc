@@ -1,0 +1,79 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace lg::util {
+
+std::string pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& v, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += sep;
+    out += v[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::string lpad(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+std::string rpad(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      os << (c == 0 ? "" : "  ") << rpad(rows[r][c], widths[c]);
+    }
+    os << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+      }
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lg::util

@@ -1,0 +1,38 @@
+// Small string/formatting helpers used across harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lg::util {
+
+// "1.5%", "12.0%": percentage with one decimal.
+std::string pct(double fraction, int decimals = 1);
+
+// Fixed-decimal double.
+std::string fixed(double v, int decimals = 2);
+
+// Join elements with a separator using operator<< on each.
+template <typename T>
+std::string join(const std::vector<T>& v, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += sep;
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& v, const std::string& sep);
+
+// Split on a single character, dropping empty tokens.
+std::vector<std::string> split(const std::string& s, char sep);
+
+// Left-pad / right-pad to a width (for table rendering).
+std::string lpad(const std::string& s, std::size_t width);
+std::string rpad(const std::string& s, std::size_t width);
+
+// Render a simple aligned text table: first row is the header.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace lg::util

@@ -1,0 +1,42 @@
+#include "workload/load_model.h"
+
+#include <stdexcept>
+
+namespace lg::workload {
+
+void LoadModel::calibrate_extrapolation(
+    const util::EmpiricalCdf& outage_durations) {
+  const double p5 =
+      static_cast<double>(outage_durations.count_above(5.0 * 60.0));
+  const double p15 =
+      static_cast<double>(outage_durations.count_above(15.0 * 60.0));
+  if (p15 > 0.0) extrapolation_5min_ratio_ = p5 / p15;
+}
+
+double LoadModel::poisonable_outages_per_day(double d_minutes) const {
+  const double denom =
+      params_.hubble_monitored_fraction * params_.hubble_poisonable_fraction;
+  if (d_minutes >= 60.0) {
+    return params_.hubble_outages_60min_per_day / denom;
+  }
+  if (d_minutes >= 15.0) {
+    return params_.hubble_outages_15min_per_day / denom;
+  }
+  if (d_minutes >= 5.0) {
+    // Hubble's smallest observable duration is 15 minutes; extrapolate with
+    // the EC2 duration distribution's survival ratio (§5.4).
+    return params_.hubble_outages_15min_per_day * extrapolation_5min_ratio_ /
+           denom;
+  }
+  throw std::invalid_argument("load model supports d in {5, 15, 60} minutes");
+}
+
+double LoadModel::daily_path_changes(double isp_fraction,
+                                     double monitored_fraction,
+                                     double d_minutes) const {
+  return isp_fraction * monitored_fraction *
+         poisonable_outages_per_day(d_minutes) *
+         params_.updates_per_router_per_poison;
+}
+
+}  // namespace lg::workload

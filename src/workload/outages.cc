@@ -1,0 +1,53 @@
+#include "workload/outages.h"
+
+#include <algorithm>
+
+namespace lg::workload {
+
+double sample_outage_duration(util::Rng& rng, const OutageDurationParams& p) {
+  const double u = rng.uniform01();
+  if (u < p.floor_weight) {
+    // Pinned at the detection floor: the real study cannot distinguish
+    // anything inside [floor, floor + ping interval).
+    return p.floor_seconds + rng.uniform(0.0, 30.0);
+  }
+  if (u < p.floor_weight + p.short_weight) {
+    const double extra = rng.exponential(p.short_mean_extra);
+    return std::min(p.floor_seconds + extra, p.short_cap - 1.0);
+  }
+  const double d = rng.pareto(p.tail_xmin, p.tail_alpha);
+  return std::min(d, p.tail_cap);
+}
+
+util::EmpiricalCdf generate_outage_study(std::size_t n,
+                                         const OutageDurationParams& p,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed, 0x6f757467ULL);
+  util::EmpiricalCdf cdf;
+  for (std::size_t i = 0; i < n; ++i) {
+    cdf.add(sample_outage_duration(rng, p));
+  }
+  return cdf;
+}
+
+std::vector<ResidualRow> residual_duration_rows(
+    const util::EmpiricalCdf& study,
+    const std::vector<double>& elapsed_minutes) {
+  std::vector<ResidualRow> rows;
+  rows.reserve(elapsed_minutes.size());
+  for (const double m : elapsed_minutes) {
+    const double x = m * 60.0;
+    ResidualRow row;
+    row.elapsed_minutes = m;
+    row.surviving = study.count_above(x);
+    if (row.surviving > 0) {
+      row.mean_residual_min = study.mean_residual(x) / 60.0;
+      row.median_residual_min = study.residual_quantile(x, 0.5) / 60.0;
+      row.p25_residual_min = study.residual_quantile(x, 0.25) / 60.0;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace lg::workload

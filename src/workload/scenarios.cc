@@ -1,0 +1,137 @@
+#include "workload/scenarios.h"
+
+#include <algorithm>
+
+#include "topology/addressing.h"
+
+namespace lg::workload {
+
+std::vector<AsId> ScenarioGenerator::transit_candidates(
+    const std::vector<AsId>& as_path, AsId vp_as, AsId target_as) const {
+  std::vector<AsId> out;
+  const auto& graph = world_->graph();
+  for (const AsId as : as_path) {
+    if (as == vp_as || as == target_as) continue;
+    if (graph.tier(as) == topo::AsTier::kStub) continue;
+    // Skip the vantage point's sole provider: poisoning/bypassing it is
+    // impossible and the paper excludes such cases from remediation.
+    const auto vp_providers = graph.providers(vp_as);
+    if (vp_providers.size() == 1 && vp_providers.front() == as) continue;
+    out.push_back(as);
+  }
+  return out;
+}
+
+std::optional<FailureScenario> ScenarioGenerator::make(
+    AsId vp_as, AsId target_as, core::FailureDirection direction,
+    bool link_granularity, std::span<const AsId> witnesses) {
+  auto& dataplane = world_->dataplane();
+  const auto target_addr =
+      topo::AddressPlan::router_address(topo::RouterId{target_as, 0});
+  const auto vp_addr = topo::AddressPlan::production_host(vp_as);
+
+  const auto fwd = dataplane.forward(vp_as, target_addr);
+  const auto rev = dataplane.forward(target_as, vp_addr);
+  if (!fwd.delivered() || !rev.delivered()) return std::nullopt;
+  // A target whose core ignores probes cannot be monitored in the first
+  // place (LIFEGUARD picks responsive targets).
+  if (!world_->prober().target_responds(target_addr)) return std::nullopt;
+
+  // Candidate culprits on the path(s) relevant to the requested direction.
+  std::vector<AsId> candidates;
+  switch (direction) {
+    case core::FailureDirection::kForward:
+      candidates = transit_candidates(fwd.as_path(), vp_as, target_as);
+      break;
+    case core::FailureDirection::kReverse:
+      candidates = transit_candidates(rev.as_path(), vp_as, target_as);
+      break;
+    case core::FailureDirection::kBidirectional: {
+      // One box failing both directions must sit on both paths.
+      const auto fwd_cands = transit_candidates(fwd.as_path(), vp_as, target_as);
+      const auto rev_path = rev.as_path();
+      for (const AsId as : fwd_cands) {
+        if (std::find(rev_path.begin(), rev_path.end(), as) != rev_path.end()) {
+          candidates.push_back(as);
+        }
+      }
+      break;
+    }
+    case core::FailureDirection::kNone:
+      return std::nullopt;
+  }
+  if (candidates.empty()) return std::nullopt;
+  rng_.shuffle(candidates);
+
+  const auto inject_for = [&](FailureScenario& scenario, AsId culprit) {
+    scenario.culprit_as = culprit;
+    scenario.culprit_link.reset();
+    switch (direction) {
+      case core::FailureDirection::kForward:
+      case core::FailureDirection::kReverse: {
+        const AsId toward =
+            direction == core::FailureDirection::kForward ? target_as : vp_as;
+        const auto& path = direction == core::FailureDirection::kForward
+                               ? fwd.as_path()
+                               : rev.as_path();
+        if (link_granularity) {
+          const auto it = std::find(path.begin(), path.end(), culprit);
+          if (it != path.end() && it + 1 != path.end()) {
+            scenario.culprit_link = topo::AsLinkKey(culprit, *(it + 1));
+            scenario.failure_ids.push_back(world_->failures().inject(
+                dp::Failure{.at_link = scenario.culprit_link,
+                            .direction_from = culprit,
+                            .toward_as = toward}));
+            return;
+          }
+        }
+        scenario.failure_ids.push_back(world_->failures().inject(
+            dp::Failure{.at_as = culprit, .toward_as = toward}));
+        return;
+      }
+      case core::FailureDirection::kBidirectional:
+        scenario.failure_ids.push_back(world_->failures().inject(
+            dp::Failure{.at_as = culprit, .toward_as = target_as}));
+        scenario.failure_ids.push_back(world_->failures().inject(
+            dp::Failure{.at_as = culprit, .toward_as = vp_as}));
+        return;
+      case core::FailureDirection::kNone:
+        return;
+    }
+  };
+
+  FailureScenario scenario;
+  scenario.vp_as = vp_as;
+  scenario.target = target_addr;
+  scenario.target_as = target_as;
+  scenario.true_direction = direction;
+
+  for (const AsId culprit : candidates) {
+    inject_for(scenario, culprit);
+    // The outage must bite at the vantage point...
+    const bool vp_out =
+        !world_->prober().ping(vp_as, target_addr, vp_addr).replied;
+    // ...and stay *partial*: some witness keeps end-to-end connectivity.
+    bool witnessed = witnesses.empty();
+    for (const AsId w : witnesses) {
+      if (w == vp_as) continue;
+      const auto w_addr = topo::AddressPlan::production_host(w);
+      if (world_->prober().ping(w, target_addr, w_addr).replied) {
+        witnessed = true;
+        break;
+      }
+    }
+    if (vp_out && witnessed) return scenario;
+    repair(scenario);
+  }
+  return std::nullopt;
+}
+
+void ScenarioGenerator::repair(FailureScenario& scenario) {
+  for (const auto id : scenario.failure_ids) {
+    world_->failures().clear(id);
+  }
+  scenario.failure_ids.clear();
+}
+
+}  // namespace lg::workload

@@ -1,0 +1,59 @@
+// Failure scenario generation for the isolation-accuracy experiments (§5.3).
+//
+// A scenario picks a vantage AS, a target router in another AS, and a
+// transit AS (or link) on the live forward/reverse path between them, then
+// injects a silent, direction-scoped blackhole there. The injector records
+// ground truth so harnesses can score LIFEGUARD's verdict and the
+// traceroute-only baseline against reality.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/isolation.h"
+#include "dataplane/failures.h"
+#include "workload/sim_world.h"
+
+namespace lg::workload {
+
+struct FailureScenario {
+  AsId vp_as = topo::kInvalidAs;
+  topo::Ipv4 target = 0;
+  AsId target_as = topo::kInvalidAs;
+  core::FailureDirection true_direction = core::FailureDirection::kNone;
+  AsId culprit_as = topo::kInvalidAs;
+  std::optional<topo::AsLinkKey> culprit_link;
+  // Injected failure ids (cleared by the harness when "repaired").
+  std::vector<dp::FailureId> failure_ids;
+};
+
+class ScenarioGenerator {
+ public:
+  ScenarioGenerator(SimWorld& world, std::uint64_t seed = 99)
+      : world_(&world), rng_(seed, 0x7363656eULL) {}
+
+  // Build (and inject) a scenario between `vp_as` and a router-core target
+  // in `target_as`. Tries transit culprits on the relevant path until one
+  // produces a *partial* outage: the vantage point loses the target while at
+  // least one of `witnesses` (when given) keeps connectivity — the paper's
+  // §5.3 selection criterion, and what makes spoofed-probe direction
+  // isolation possible. Returns nullopt when no culprit qualifies.
+  std::optional<FailureScenario> make(AsId vp_as, AsId target_as,
+                                      core::FailureDirection direction,
+                                      bool link_granularity = false,
+                                      std::span<const AsId> witnesses = {});
+
+  void repair(FailureScenario& scenario);
+
+ private:
+  // Transit ASes on the AS-level path, excluding endpoints and the
+  // endpoints' sole providers.
+  std::vector<AsId> transit_candidates(const std::vector<AsId>& as_path,
+                                       AsId vp_as, AsId target_as) const;
+
+  SimWorld* world_;
+  util::Rng rng_;
+};
+
+}  // namespace lg::workload

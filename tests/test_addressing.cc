@@ -1,0 +1,84 @@
+#include "topology/addressing.h"
+
+#include <gtest/gtest.h>
+
+namespace lg::topo {
+namespace {
+
+TEST(AddressPlanTest, SentinelCoversProductionAndUnused) {
+  for (const AsId as : {AsId{1}, AsId{100}, AsId{31999}}) {
+    const auto prod = AddressPlan::production_prefix(as);
+    const auto sentinel = AddressPlan::sentinel_prefix(as);
+    const auto unused = AddressPlan::sentinel_unused_subprefix(as);
+    EXPECT_EQ(prod.length(), 24);
+    EXPECT_EQ(sentinel.length(), 23);
+    EXPECT_EQ(unused.length(), 24);
+    EXPECT_TRUE(sentinel.covers(prod));
+    EXPECT_TRUE(sentinel.covers(unused));
+    EXPECT_NE(prod, unused);
+  }
+}
+
+TEST(AddressPlanTest, PrefixesAreDisjointAcrossAses) {
+  const auto s1 = AddressPlan::sentinel_prefix(1);
+  const auto s2 = AddressPlan::sentinel_prefix(2);
+  EXPECT_FALSE(s1.covers(s2));
+  EXPECT_FALSE(s2.covers(s1));
+  const auto i1 = AddressPlan::infrastructure_prefix(1);
+  const auto i2 = AddressPlan::infrastructure_prefix(2);
+  EXPECT_FALSE(i1.covers(i2));
+  EXPECT_FALSE(s1.covers(i1));
+}
+
+TEST(AddressPlanTest, ProductionHostInsideProduction) {
+  const auto prod = AddressPlan::production_prefix(42);
+  EXPECT_TRUE(prod.contains(AddressPlan::production_host(42)));
+}
+
+TEST(AddressPlanTest, SentinelProbeSourceInUnusedSpaceOnly) {
+  const auto src = AddressPlan::sentinel_probe_source(42);
+  EXPECT_TRUE(AddressPlan::sentinel_unused_subprefix(42).contains(src));
+  EXPECT_FALSE(AddressPlan::production_prefix(42).contains(src));
+  EXPECT_TRUE(AddressPlan::sentinel_prefix(42).contains(src));
+}
+
+TEST(AddressPlanTest, RouterAddressRoundTrip) {
+  for (const AsId as : {AsId{1}, AsId{500}, AsId{32000}}) {
+    for (std::uint8_t idx = 0; idx < AddressPlan::kMaxRoutersPerAs; ++idx) {
+      const RouterId r{as, idx};
+      const auto addr = AddressPlan::router_address(r);
+      const auto back = AddressPlan::router_of(addr);
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(*back, r);
+      EXPECT_TRUE(AddressPlan::infrastructure_prefix(as).contains(addr));
+    }
+  }
+}
+
+TEST(AddressPlanTest, RouterOfRejectsNonRouterAddresses) {
+  EXPECT_FALSE(AddressPlan::router_of(AddressPlan::production_host(5)));
+  // Host 0 in infra space is not a router address.
+  EXPECT_FALSE(
+      AddressPlan::router_of(AddressPlan::infrastructure_prefix(5).addr()));
+}
+
+TEST(AddressPlanTest, OwnerOfProductionSentinelAndInfra) {
+  EXPECT_EQ(AddressPlan::owner_of(AddressPlan::production_host(7)), 7u);
+  EXPECT_EQ(AddressPlan::owner_of(AddressPlan::sentinel_probe_source(7)), 7u);
+  EXPECT_EQ(AddressPlan::owner_of(
+                AddressPlan::router_address(RouterId{7, 1})),
+            7u);
+  EXPECT_FALSE(AddressPlan::owner_of(0xC0A80001).has_value());  // 192.168/16
+}
+
+TEST(AddressPlanTest, RejectsOutOfRangeAs) {
+  EXPECT_THROW(AddressPlan::production_prefix(0), std::out_of_range);
+  EXPECT_THROW(AddressPlan::production_prefix(AddressPlan::kMaxAsId + 1),
+               std::out_of_range);
+  EXPECT_THROW(AddressPlan::router_address(
+                   RouterId{1, AddressPlan::kMaxRoutersPerAs}),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace lg::topo

@@ -1,0 +1,113 @@
+#include "core/atlas.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/sim_world.h"
+
+namespace lg {
+namespace {
+
+using core::PathAtlas;
+using core::PathRecord;
+using measure::VantagePoint;
+using topo::AsId;
+using topo::RouterId;
+
+TEST(AtlasTest, RecordAndRetrieveHistories) {
+  PathAtlas atlas;
+  const auto vp = VantagePoint::in_as(5);
+  const topo::Ipv4 target = 0x0B000101;
+  atlas.record_forward(vp, target, PathRecord{1.0, {{5, 0}, {6, 1}}});
+  atlas.record_reverse(vp, target, PathRecord{2.0, {{6, 1}, {5, 0}}});
+
+  const auto* fwd = atlas.forward_history(vp, target);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_EQ(fwd->size(), 1u);
+  EXPECT_EQ(atlas.latest_forward(vp, target)->time, 1.0);
+  EXPECT_EQ(atlas.latest_reverse(vp, target)->hops.front().as, 6u);
+  EXPECT_EQ(atlas.forward_history(VantagePoint::in_as(9), target), nullptr);
+}
+
+TEST(AtlasTest, IdenticalConsecutivePathsCollapse) {
+  PathAtlas atlas;
+  const auto vp = VantagePoint::in_as(5);
+  const std::vector<RouterId> hops{{5, 0}, {6, 1}};
+  atlas.record_forward(vp, 1, PathRecord{1.0, hops});
+  atlas.record_forward(vp, 1, PathRecord{2.0, hops});
+  const auto* hist = atlas.forward_history(vp, 1);
+  ASSERT_EQ(hist->size(), 1u);
+  EXPECT_EQ(hist->back().time, 2.0);  // freshness updated
+}
+
+TEST(AtlasTest, HistoryDepthIsBounded) {
+  PathAtlas atlas(core::AtlasConfig{.history_depth = 3});
+  const auto vp = VantagePoint::in_as(5);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    atlas.record_forward(vp, 1, PathRecord{static_cast<double>(i),
+                                           {{5, 0}, {6, i}}});
+  }
+  const auto* hist = atlas.forward_history(vp, 1);
+  ASSERT_EQ(hist->size(), 3u);
+  EXPECT_EQ(hist->back().time, 9.0);  // newest kept
+  EXPECT_EQ(hist->front().time, 7.0); // oldest evicted
+}
+
+TEST(AtlasTest, ResponsivenessDatabase) {
+  PathAtlas atlas;
+  EXPECT_FALSE(atlas.ever_responded(RouterId{7, 0}));
+  atlas.note_response(RouterId{7, 0}, 5.0);
+  EXPECT_TRUE(atlas.ever_responded(RouterId{7, 0}));
+}
+
+TEST(AtlasTest, CandidateRoutersUnionAcrossDirectionsAndHistory) {
+  PathAtlas atlas;
+  const auto vp = VantagePoint::in_as(5);
+  atlas.record_forward(vp, 1, PathRecord{1.0, {{5, 0}, {6, 1}}});
+  atlas.record_reverse(vp, 1, PathRecord{1.0, {{8, 0}, {5, 0}}});
+  atlas.record_forward(vp, 1, PathRecord{2.0, {{5, 0}, {7, 2}}});
+  const auto candidates = atlas.candidate_routers(vp, 1);
+  EXPECT_EQ(candidates.size(), 4u);  // {5,0},{6,1},{7,2},{8,0} deduplicated
+}
+
+TEST(AtlasTest, RefreshPopulatesBothDirections) {
+  workload::SimWorld world(workload::SimWorld::small_config(3));
+  const auto stubs = world.stub_vantage_ases(2);
+  world.announce_production(stubs[0]);
+  world.converge();
+
+  PathAtlas atlas;
+  measure::Prober prober(world.dataplane(), world.responsiveness());
+  const auto vp = VantagePoint::in_as(stubs[0]);
+  const auto target =
+      topo::AddressPlan::router_address(RouterId{stubs[1], 0});
+  const int recorded = atlas.refresh(prober, vp, target, 10.0);
+  EXPECT_EQ(recorded, 2);
+  ASSERT_NE(atlas.latest_forward(vp, target), nullptr);
+  ASSERT_NE(atlas.latest_reverse(vp, target), nullptr);
+  // Forward path starts at the vantage AS; reverse path starts at target AS.
+  EXPECT_EQ(atlas.latest_forward(vp, target)->hops.front().as, stubs[0]);
+  EXPECT_EQ(atlas.latest_reverse(vp, target)->hops.front().as, stubs[1]);
+  EXPECT_EQ(atlas.refreshes(), 1u);
+}
+
+TEST(AtlasTest, RefreshDuringOutageRecordsNothingNew) {
+  workload::SimWorld world(workload::SimWorld::small_config(3));
+  const auto stubs = world.stub_vantage_ases(2);
+  world.announce_production(stubs[0]);
+  world.converge();
+
+  PathAtlas atlas;
+  measure::Prober prober(world.dataplane(), world.responsiveness());
+  const auto vp = VantagePoint::in_as(stubs[0]);
+  const auto target =
+      topo::AddressPlan::router_address(RouterId{stubs[1], 0});
+  // Total blackout at the target's provider: unscoped, so both the forward
+  // traceroute and the reverse path measurement die.
+  world.failures().inject(
+      dp::Failure{.at_as = world.graph().providers(stubs[1]).front()});
+  const int recorded = atlas.refresh(prober, vp, target, 10.0);
+  EXPECT_EQ(recorded, 0);
+}
+
+}  // namespace
+}  // namespace lg

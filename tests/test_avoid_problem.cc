@@ -1,0 +1,124 @@
+// The idealized AVOID_PROBLEM(X, P) primitive (§3): Avoidance, Backup, and
+// Notification properties on the Fig. 2 topology, plus its contrast with
+// poisoning (which sacrifices the Backup property for deployability).
+#include <gtest/gtest.h>
+
+#include "bgp/engine.h"
+#include "topology/addressing.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+
+namespace lg {
+namespace {
+
+using topo::AsId;
+
+class AvoidProblemTest : public ::testing::Test {
+ protected:
+  AvoidProblemTest()
+      : topo_(topo::make_fig2_topology()), engine_(topo_.graph, sched_) {}
+
+  topo::Prefix announce(std::optional<bgp::AvoidHint> hint) {
+    const auto prefix = topo::AddressPlan::production_prefix(topo_.o);
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::baseline_path(topo_.o, 3);
+    policy.avoid_hint = hint;
+    engine_.originate(topo_.o, prefix, policy);
+    sched_.run();
+    return prefix;
+  }
+
+  topo::Fig2Topology topo_;
+  util::Scheduler sched_;
+  bgp::BgpEngine engine_;
+};
+
+TEST_F(AvoidProblemTest, AvoidancePropertyRoutesAroundHintedAs) {
+  const auto prefix = announce(std::nullopt);
+  ASSERT_EQ(engine_.best_route(topo_.e, prefix)->neighbor, topo_.a);
+
+  announce(bgp::AvoidHint{.as = topo_.a});
+  // E knows a route avoiding A (via D): it must select it even though the
+  // A route is shorter.
+  EXPECT_EQ(engine_.best_route(topo_.e, prefix)->neighbor, topo_.d);
+}
+
+TEST_F(AvoidProblemTest, BackupPropertyKeepsCaptivesConnected) {
+  const auto prefix = announce(bgp::AvoidHint{.as = topo_.a});
+  // F only knows routes through A: unlike poisoning, the primitive leaves
+  // it free to keep using them — no sentinel needed.
+  const auto* f_route = engine_.best_route(topo_.f, prefix);
+  ASSERT_NE(f_route, nullptr);
+  EXPECT_EQ(f_route->neighbor, topo_.a);
+  // And A itself keeps its preferred route.
+  EXPECT_NE(engine_.best_route(topo_.a, prefix), nullptr);
+}
+
+TEST_F(AvoidProblemTest, NotificationPropertyAlertsTheProblemAs) {
+  EXPECT_EQ(engine_.speaker(topo_.a).avoid_notifications(), 0u);
+  announce(bgp::AvoidHint{.as = topo_.a});
+  EXPECT_GT(engine_.speaker(topo_.a).avoid_notifications(), 0u);
+}
+
+TEST_F(AvoidProblemTest, LinkHintOnlyAffectsPathsCrossingIt) {
+  const auto prefix = announce(std::nullopt);
+  ASSERT_EQ(engine_.best_route(topo_.e, prefix)->neighbor, topo_.a);
+  // Hint against the A-B link: E's A route crosses it (E-A-B-O); the D
+  // route does not (E-D-C-B-O).
+  announce(bgp::AvoidHint{.as = topo_.a,
+                          .link = topo::AsLinkKey(topo_.a, topo_.b)});
+  EXPECT_EQ(engine_.best_route(topo_.e, prefix)->neighbor, topo_.d);
+  // F's only route crosses the link: Backup keeps it usable.
+  EXPECT_EQ(engine_.best_route(topo_.f, prefix)->neighbor, topo_.a);
+}
+
+TEST_F(AvoidProblemTest, ClearingTheHintRestoresPreferredRoutes) {
+  const auto prefix = announce(bgp::AvoidHint{.as = topo_.a});
+  ASSERT_EQ(engine_.best_route(topo_.e, prefix)->neighbor, topo_.d);
+  announce(std::nullopt);
+  EXPECT_EQ(engine_.best_route(topo_.e, prefix)->neighbor, topo_.a);
+}
+
+TEST_F(AvoidProblemTest, DishonoringAsIgnoresHints) {
+  engine_.speaker(topo_.e).mutable_config().honors_avoid_hints = false;
+  const auto prefix = announce(bgp::AvoidHint{.as = topo_.a});
+  EXPECT_EQ(engine_.best_route(topo_.e, prefix)->neighbor, topo_.a);
+}
+
+TEST_F(AvoidProblemTest, HintSurvivesTier1CommunityStripping) {
+  // Unlike communities, the hint is modeled as a protected/signed attribute
+  // that even community-stripping networks forward.
+  engine_.speaker(topo_.b).mutable_config().strips_communities = true;
+  const auto prefix = announce(bgp::AvoidHint{.as = topo_.a});
+  const auto* route = engine_.best_route(topo_.d, prefix);
+  ASSERT_NE(route, nullptr);
+  ASSERT_TRUE(route->avoid_hint.has_value());
+  EXPECT_EQ(route->avoid_hint->as, topo_.a);
+}
+
+TEST_F(AvoidProblemTest, PrimitiveVsPoisoningOnCaptives) {
+  // The deployability trade the paper describes: poisoning approximates
+  // Avoidance but cuts captives off the specific prefix (they need the
+  // sentinel); the primitive keeps everyone routed.
+  const auto prefix = announce(bgp::AvoidHint{.as = topo_.a});
+  std::size_t routed_with_primitive = 0;
+  for (const AsId as : topo_.graph.as_ids()) {
+    if (as == topo_.o) continue;
+    if (engine_.best_route(as, prefix) != nullptr) ++routed_with_primitive;
+  }
+
+  bgp::OriginPolicy poisoned;
+  poisoned.default_path = bgp::poisoned_path(topo_.o, {topo_.a}, 3);
+  engine_.originate(topo_.o, prefix, poisoned);
+  sched_.run();
+  std::size_t routed_with_poison = 0;
+  for (const AsId as : topo_.graph.as_ids()) {
+    if (as == topo_.o) continue;
+    if (engine_.best_route(as, prefix) != nullptr) ++routed_with_poison;
+  }
+  EXPECT_EQ(routed_with_primitive, topo_.graph.num_ases() - 1);
+  EXPECT_LT(routed_with_poison, routed_with_primitive);
+}
+
+}  // namespace
+}  // namespace lg

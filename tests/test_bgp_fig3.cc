@@ -1,0 +1,131 @@
+// Figure 3: selective poisoning steers traffic off one of A's links without
+// cutting A off and without disturbing uninvolved networks.
+#include <gtest/gtest.h>
+
+#include "bgp/engine.h"
+#include "core/remediation.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+
+namespace lg {
+namespace {
+
+using bgp::AsPath;
+using topo::AsId;
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  Fig3Test()
+      : topo_(topo::make_fig3_topology()),
+        engine_(topo_.graph, sched_),
+        remediator_(engine_, topo_.o) {
+    remediator_.announce_baseline();
+    sched_.run();
+  }
+
+  const bgp::Route* route_of(AsId as) {
+    return engine_.best_route(as, remediator_.production_prefix());
+  }
+  AsId first_hop(AsId as) {
+    const auto* r = route_of(as);
+    return r == nullptr ? topo::kInvalidAs : r->neighbor;
+  }
+
+  topo::Fig3Topology topo_;
+  util::Scheduler sched_;
+  bgp::BgpEngine engine_;
+  core::Remediator remediator_;
+};
+
+TEST_F(Fig3Test, BaselineAPrefersTheB2Chain) {
+  // Both customer chains have equal length; A's tie-break picks the lower
+  // neighbor ASN, which is B2 by construction.
+  ASSERT_NE(route_of(topo_.a), nullptr);
+  EXPECT_EQ(first_hop(topo_.a), topo_.b2);
+  // A's customers follow it.
+  EXPECT_EQ(first_hop(topo_.c2), topo_.a);
+  EXPECT_EQ(first_hop(topo_.c3), topo_.a);
+  // C4 sits behind B2, C1 behind B1.
+  EXPECT_EQ(first_hop(topo_.c4), topo_.b2);
+  EXPECT_EQ(first_hop(topo_.c1), topo_.b1);
+}
+
+TEST_F(Fig3Test, SelectivePoisonShiftsAOffTheFailingLink) {
+  // Suppose the A-B2 link fails silently. Poison A only via D2: A receives
+  // the poisoned path from the B2 side and the clean path from the B1 side.
+  const AsId poisoned_providers[] = {topo_.d2};
+  remediator_.selective_poison(topo_.a, poisoned_providers);
+  sched_.run();
+
+  // A keeps a route — via the B1 chain now.
+  ASSERT_NE(route_of(topo_.a), nullptr);
+  EXPECT_EQ(first_hop(topo_.a), topo_.b1);
+  EXPECT_FALSE(
+      bgp::path_traverses(route_of(topo_.a)->path, topo_.b2, topo_.o));
+  // A's customers follow A away from the failed link.
+  EXPECT_EQ(first_hop(topo_.c3), topo_.a);
+  EXPECT_FALSE(
+      bgp::path_traverses(route_of(topo_.c3)->path, topo_.b2, topo_.o));
+}
+
+TEST_F(Fig3Test, SelectivePoisonDoesNotDisturbOtherRoutes) {
+  const auto c4_nh = first_hop(topo_.c4);
+  const auto c1_nh = first_hop(topo_.c1);
+  const auto b2_nh = first_hop(topo_.b2);
+  const auto c1_path_before = route_of(topo_.c1)->path;
+
+  const AsId poisoned_providers[] = {topo_.d2};
+  remediator_.selective_poison(topo_.a, poisoned_providers);
+  sched_.run();
+
+  // C4 keeps routing via B2-D2 (its traffic never crossed the A-B2 link),
+  // and B2 itself still has its customer route via D2: the link is avoided
+  // without cutting off either endpoint — this is what plain poisoning or
+  // selective advertising cannot do (§3.1.2). Their AS_PATH attributes pick
+  // up the poisoned suffix (it propagated through D2), but no network other
+  // than A changes which neighbor it routes through.
+  EXPECT_EQ(first_hop(topo_.c4), c4_nh);
+  EXPECT_EQ(first_hop(topo_.b2), b2_nh);
+  EXPECT_TRUE(
+      bgp::path_traverses(route_of(topo_.c4)->path, topo_.d2, topo_.o));
+  // C1, on the clean (B1) side, is bit-for-bit untouched.
+  EXPECT_EQ(first_hop(topo_.c1), c1_nh);
+  EXPECT_EQ(route_of(topo_.c1)->path, c1_path_before);
+}
+
+TEST_F(Fig3Test, FullPoisonWouldCutAEntirely) {
+  // Contrast: poisoning A via both providers leaves A without a production
+  // route at all.
+  remediator_.poison(topo_.a);
+  sched_.run();
+  EXPECT_EQ(route_of(topo_.a), nullptr);
+  // And C2/C3 (captives of A) lose the production prefix too.
+  EXPECT_EQ(route_of(topo_.c2), nullptr);
+  EXPECT_EQ(route_of(topo_.c3), nullptr);
+}
+
+TEST_F(Fig3Test, SelectiveAdvertisingMovesEveryoneUnlikeSelectivePoisoning) {
+  // The §2.3 critique: withdrawing entirely from D2 (selective advertising)
+  // forces C4 — which had a perfectly working path — to change routes.
+  bgp::OriginPolicy policy;
+  policy.default_path = bgp::baseline_path(topo_.o, 3);
+  policy.per_neighbor[topo_.d2] = std::nullopt;
+  engine_.originate(topo_.o, remediator_.production_prefix(), policy);
+  sched_.run();
+  ASSERT_NE(route_of(topo_.c4), nullptr);
+  EXPECT_TRUE(
+      bgp::path_traverses(route_of(topo_.c4)->path, topo_.d1, topo_.o))
+      << "C4 should have been forced onto the D1 chain";
+}
+
+TEST_F(Fig3Test, UnpoisonRestoresB2Chain) {
+  const AsId poisoned_providers[] = {topo_.d2};
+  remediator_.selective_poison(topo_.a, poisoned_providers);
+  sched_.run();
+  remediator_.unpoison();
+  sched_.run();
+  EXPECT_EQ(first_hop(topo_.a), topo_.b2);
+}
+
+}  // namespace
+}  // namespace lg

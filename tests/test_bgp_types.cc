@@ -1,0 +1,102 @@
+#include "bgp/types.h"
+
+#include <gtest/gtest.h>
+
+namespace lg::bgp {
+namespace {
+
+TEST(AsPathTest, PathStrAndCounting) {
+  const AsPath p{10, 20, 10};
+  EXPECT_EQ(path_str(p), "10-20-10");
+  EXPECT_EQ(path_str(AsPath{}), "(empty)");
+  EXPECT_EQ(count_occurrences(p, 10), 2u);
+  EXPECT_EQ(count_occurrences(p, 20), 1u);
+  EXPECT_EQ(count_occurrences(p, 30), 0u);
+}
+
+TEST(AsPathTest, ContainsAny) {
+  const AsPath p{1, 2, 3};
+  EXPECT_TRUE(path_contains_any(p, {9, 2}));
+  EXPECT_FALSE(path_contains_any(p, {9, 8}));
+  EXPECT_FALSE(path_contains_any(p, {}));
+}
+
+TEST(LocalPrefTest, GaoRexfordOrdering) {
+  EXPECT_GT(local_pref(LearnedFrom::kLocal), local_pref(LearnedFrom::kCustomer));
+  EXPECT_GT(local_pref(LearnedFrom::kCustomer), local_pref(LearnedFrom::kPeer));
+  EXPECT_GT(local_pref(LearnedFrom::kPeer), local_pref(LearnedFrom::kProvider));
+}
+
+TEST(BetterRouteTest, LocalPrefDominatesPathLength) {
+  Route customer_long{Prefix(0x0A000000, 24), {1, 2, 3, 4}, 1,
+                      LearnedFrom::kCustomer};
+  Route provider_short{Prefix(0x0A000000, 24), {5}, 5, LearnedFrom::kProvider};
+  EXPECT_TRUE(better_route(customer_long, provider_short));
+  EXPECT_FALSE(better_route(provider_short, customer_long));
+}
+
+TEST(BetterRouteTest, ShorterPathWinsWithinSamePref) {
+  Route a{Prefix(0x0A000000, 24), {1, 9}, 1, LearnedFrom::kPeer};
+  Route b{Prefix(0x0A000000, 24), {2, 8, 9}, 2, LearnedFrom::kPeer};
+  EXPECT_TRUE(better_route(a, b));
+}
+
+TEST(BetterRouteTest, LowestNeighborBreaksTies) {
+  Route a{Prefix(0x0A000000, 24), {3, 9}, 3, LearnedFrom::kPeer};
+  Route b{Prefix(0x0A000000, 24), {7, 9}, 7, LearnedFrom::kPeer};
+  EXPECT_TRUE(better_route(a, b));
+  EXPECT_FALSE(better_route(b, a));
+}
+
+TEST(BaselinePathTest, PrependedBaseline) {
+  EXPECT_EQ(baseline_path(10, 3), (AsPath{10, 10, 10}));
+  EXPECT_EQ(baseline_path(10, 1), (AsPath{10}));
+  EXPECT_THROW(baseline_path(10, 0), std::invalid_argument);
+}
+
+TEST(PoisonedPathTest, PaperShape) {
+  // O-A-O: the poisoned AS in the middle, the true origin at the end.
+  EXPECT_EQ(poisoned_path(10, {20}, 3), (AsPath{10, 20, 10}));
+  // Same length as the O-O-O baseline it replaces.
+  EXPECT_EQ(poisoned_path(10, {20}, 3).size(), baseline_path(10, 3).size());
+}
+
+TEST(PoisonedPathTest, DoublePoisonForLenientLoopDetection) {
+  // §7.1: AS286-style networks need their ASN twice.
+  EXPECT_EQ(poisoned_path(10, {20, 20}, 4), (AsPath{10, 20, 20, 10}));
+}
+
+TEST(PoisonedPathTest, PadsWithLeadingOrigin) {
+  EXPECT_EQ(poisoned_path(10, {20}, 5), (AsPath{10, 10, 10, 20, 10}));
+}
+
+TEST(PoisonedPathTest, RejectsTooShortTotal) {
+  EXPECT_THROW(poisoned_path(10, {20, 30}, 3), std::invalid_argument);
+}
+
+TEST(OriginPolicyTest, PerNeighborOverrides) {
+  OriginPolicy policy;
+  policy.default_path = AsPath{10, 10, 10};
+  policy.per_neighbor[5] = AsPath{10, 99, 10};
+  policy.per_neighbor[6] = std::nullopt;  // withhold
+
+  EXPECT_EQ(policy.path_for(1), (AsPath{10, 10, 10}));
+  EXPECT_EQ(policy.path_for(5), (AsPath{10, 99, 10}));
+  EXPECT_FALSE(policy.path_for(6).has_value());
+}
+
+TEST(UpdateMessageTest, Rendering) {
+  UpdateMessage msg;
+  msg.type = MsgType::kAnnounce;
+  msg.from = 1;
+  msg.to = 2;
+  msg.prefix = Prefix(0x0A000000, 24);
+  msg.path = {1, 9};
+  EXPECT_NE(msg.str().find("ANNOUNCE"), std::string::npos);
+  EXPECT_NE(msg.str().find("1-9"), std::string::npos);
+  msg.type = MsgType::kWithdraw;
+  EXPECT_NE(msg.str().find("WITHDRAW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lg::bgp

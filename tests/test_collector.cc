@@ -1,0 +1,125 @@
+// Route collector analytics: monitored-set filtering, windowed event
+// queries, convergence arithmetic, and final-route snapshots.
+#include <gtest/gtest.h>
+
+#include "bgp/collector.h"
+#include "topology/addressing.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+
+namespace lg {
+namespace {
+
+using topo::AsId;
+
+class CollectorTest : public ::testing::Test {
+ protected:
+  CollectorTest()
+      : topo_(topo::make_fig2_topology()), engine_(topo_.graph, sched_) {
+    prefix_ = topo::AddressPlan::production_prefix(topo_.o);
+    other_prefix_ = topo::AddressPlan::production_prefix(topo_.e);
+  }
+
+  void announce(AsId origin, const topo::Prefix& prefix) {
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::AsPath{origin};
+    engine_.originate(origin, prefix, policy);
+  }
+
+  topo::Fig2Topology topo_;
+  util::Scheduler sched_;
+  bgp::BgpEngine engine_;
+  topo::Prefix prefix_;
+  topo::Prefix other_prefix_;
+};
+
+TEST_F(CollectorTest, MonitorFiltersByAsAndPrefix) {
+  bgp::RouteCollector collector;
+  collector.monitor_as(topo_.e);
+  collector.monitor_prefix(prefix_);
+  engine_.add_observer(&collector);
+  announce(topo_.o, prefix_);
+  announce(topo_.e, other_prefix_);
+  sched_.run();
+  ASSERT_FALSE(collector.events().empty());
+  for (const auto& ev : collector.events()) {
+    EXPECT_EQ(ev.as, topo_.e);
+    EXPECT_EQ(ev.prefix, prefix_);
+  }
+  engine_.remove_observer(&collector);
+}
+
+TEST_F(CollectorTest, EmptyMonitorRecordsEverything) {
+  bgp::RouteCollector collector;
+  engine_.add_observer(&collector);
+  announce(topo_.o, prefix_);
+  sched_.run();
+  // Six ASes besides the origin converge; each produces >= 1 event.
+  std::set<AsId> seen;
+  for (const auto& ev : collector.events()) seen.insert(ev.as);
+  EXPECT_EQ(seen.size(), 6u);
+  engine_.remove_observer(&collector);
+}
+
+TEST_F(CollectorTest, WindowedQueriesRespectBounds) {
+  bgp::RouteCollector collector;
+  engine_.add_observer(&collector);
+  announce(topo_.o, prefix_);
+  sched_.run();
+  const double t_mid = sched_.now() + 100.0;
+  sched_.run(t_mid);
+  engine_.withdraw(topo_.o, prefix_);
+  sched_.run();
+
+  // Events strictly before t_mid: announcement phase only.
+  const auto early = collector.events_for(topo_.e, prefix_, 0.0, t_mid);
+  ASSERT_FALSE(early.empty());
+  for (const auto& ev : early) EXPECT_TRUE(ev.best.has_value());
+  // Events after t_mid: the withdrawal (route lost).
+  const auto late = collector.events_for(topo_.e, prefix_, t_mid);
+  ASSERT_FALSE(late.empty());
+  EXPECT_FALSE(late.back().best.has_value());
+  engine_.remove_observer(&collector);
+}
+
+TEST_F(CollectorTest, ConvergenceTimeZeroForSingleUpdate) {
+  bgp::RouteCollector collector;
+  engine_.add_observer(&collector);
+  announce(topo_.o, prefix_);
+  sched_.run();
+  // B hears exactly one update for a fresh announcement.
+  EXPECT_EQ(collector.update_count(topo_.b, prefix_, 0.0), 1u);
+  EXPECT_EQ(collector.convergence_time(topo_.b, prefix_, 0.0), 0.0);
+  engine_.remove_observer(&collector);
+}
+
+TEST_F(CollectorTest, FinalRouteTracksLatestState) {
+  bgp::RouteCollector collector;
+  engine_.add_observer(&collector);
+  announce(topo_.o, prefix_);
+  sched_.run();
+  const auto mid = collector.final_route(topo_.e, prefix_);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->neighbor, topo_.a);
+
+  engine_.withdraw(topo_.o, prefix_);
+  sched_.run();
+  EXPECT_FALSE(collector.final_route(topo_.e, prefix_).has_value());
+  EXPECT_FALSE(collector.final_route(9999, prefix_).has_value());
+  engine_.remove_observer(&collector);
+}
+
+TEST_F(CollectorTest, ClearResetsHistory) {
+  bgp::RouteCollector collector;
+  engine_.add_observer(&collector);
+  announce(topo_.o, prefix_);
+  sched_.run();
+  EXPECT_FALSE(collector.events().empty());
+  collector.clear();
+  EXPECT_TRUE(collector.events().empty());
+  EXPECT_EQ(collector.update_count(topo_.b, prefix_, 0.0), 0u);
+  engine_.remove_observer(&collector);
+}
+
+}  // namespace
+}  // namespace lg

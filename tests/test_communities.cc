@@ -1,0 +1,103 @@
+// Community attribute propagation and the §2.3 finding: communities are not
+// a viable AVOID_PROBLEM notification channel because transit networks strip
+// them in flight.
+#include <gtest/gtest.h>
+
+#include "bgp/engine.h"
+#include "topology/addressing.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+
+namespace lg {
+namespace {
+
+using topo::AsId;
+
+class CommunityTest : public ::testing::Test {
+ protected:
+  CommunityTest()
+      : topo_(topo::make_fig2_topology()), engine_(topo_.graph, sched_) {}
+
+  topo::Prefix announce_with_community(AsId origin, bgp::Community c) {
+    const auto prefix = topo::AddressPlan::production_prefix(origin);
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::AsPath{origin};
+    policy.communities = {c};
+    engine_.originate(origin, prefix, policy);
+    sched_.run();
+    return prefix;
+  }
+
+  bool has_community(AsId as, const topo::Prefix& prefix, bgp::Community c) {
+    const auto* route = engine_.best_route(as, prefix);
+    if (route == nullptr) return false;
+    return std::find(route->communities.begin(), route->communities.end(),
+                     c) != route->communities.end();
+  }
+
+  topo::Fig2Topology topo_;
+  util::Scheduler sched_;
+  bgp::BgpEngine engine_;
+};
+
+TEST_F(CommunityTest, CommunitiesPropagateByDefault) {
+  const auto prefix = announce_with_community(topo_.o, 0x2914'0001);
+  for (const AsId as : topo_.graph.as_ids()) {
+    if (as == topo_.o) continue;
+    EXPECT_TRUE(has_community(as, prefix, 0x2914'0001)) << "AS " << as;
+  }
+}
+
+TEST_F(CommunityTest, StrippingAsBreaksDownstreamVisibility) {
+  // B (O's sole provider) strips communities: nobody beyond B sees them —
+  // exactly the paper's observation that "any AS that used a Tier-1 to
+  // reach our prefixes did not have the communities on our announcements".
+  engine_.speaker(topo_.b).mutable_config().strips_communities = true;
+  const auto prefix = announce_with_community(topo_.o, 42);
+  EXPECT_TRUE(has_community(topo_.b, prefix, 42));  // B itself received it
+  for (const AsId as : {topo_.a, topo_.c, topo_.d, topo_.e, topo_.f}) {
+    EXPECT_FALSE(has_community(as, prefix, 42)) << "AS " << as;
+    EXPECT_NE(engine_.best_route(as, prefix), nullptr) << "AS " << as;
+  }
+}
+
+TEST_F(CommunityTest, StrippingMidPathOnlyAffectsThatBranch) {
+  // A strips; C does not. E routes via A (stripped); D routes via C (kept).
+  engine_.speaker(topo_.a).mutable_config().strips_communities = true;
+  const auto prefix = announce_with_community(topo_.o, 7);
+  EXPECT_TRUE(has_community(topo_.b, prefix, 7));
+  EXPECT_TRUE(has_community(topo_.c, prefix, 7));
+  EXPECT_TRUE(has_community(topo_.d, prefix, 7));
+  EXPECT_TRUE(has_community(topo_.a, prefix, 7));   // A receives, strips on export
+  EXPECT_FALSE(has_community(topo_.e, prefix, 7));  // behind A
+  EXPECT_FALSE(has_community(topo_.f, prefix, 7));  // behind A
+}
+
+TEST_F(CommunityTest, CommunityChangeAlonePropagatesAsUpdate) {
+  const auto prefix = announce_with_community(topo_.o, 1);
+  ASSERT_TRUE(has_community(topo_.d, prefix, 1));
+  // Re-announce with a different community, same path: downstream should
+  // converge onto the new attribute.
+  bgp::OriginPolicy policy;
+  policy.default_path = bgp::AsPath{topo_.o};
+  policy.communities = {2};
+  engine_.originate(topo_.o, prefix, policy);
+  sched_.run();
+  EXPECT_FALSE(has_community(topo_.d, prefix, 1));
+  EXPECT_TRUE(has_community(topo_.d, prefix, 2));
+}
+
+TEST_F(CommunityTest, MultipleCommunitiesSurviveTogether) {
+  const auto prefix = topo::AddressPlan::production_prefix(topo_.o);
+  bgp::OriginPolicy policy;
+  policy.default_path = bgp::AsPath{topo_.o};
+  policy.communities = {10, 20, 30};
+  engine_.originate(topo_.o, prefix, policy);
+  sched_.run();
+  const auto* route = engine_.best_route(topo_.d, prefix);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->communities, (bgp::Communities{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace lg

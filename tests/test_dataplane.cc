@@ -1,0 +1,200 @@
+// Data-plane forwarding: router-level paths, silent failure semantics
+// (advertise-but-drop), direction/destination scoping, link failures, and
+// sentinel fallback at the FIB level.
+#include <gtest/gtest.h>
+
+#include "core/remediation.h"
+#include "dataplane/forwarding.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+
+namespace lg {
+namespace {
+
+using topo::AsId;
+
+class DataPlaneTest : public ::testing::Test {
+ protected:
+  DataPlaneTest()
+      : topo_(topo::make_fig2_topology()),
+        engine_(topo_.graph, sched_),
+        net_(topo_.graph),
+        dataplane_(engine_, net_, failures_),
+        remediator_(engine_, topo_.o) {
+    remediator_.announce_baseline();
+    for (const AsId as : topo_.graph.as_ids()) {
+      bgp::OriginPolicy policy;
+      policy.default_path = bgp::AsPath{as};
+      engine_.originate(as, topo::AddressPlan::infrastructure_prefix(as),
+                        policy);
+    }
+    sched_.run();
+    o_host_ = topo::AddressPlan::production_host(topo_.o);
+  }
+
+  topo::Fig2Topology topo_;
+  util::Scheduler sched_;
+  bgp::BgpEngine engine_;
+  dp::RouterNet net_;
+  dp::FailureInjector failures_;
+  dp::DataPlane dataplane_;
+  core::Remediator remediator_;
+  topo::Ipv4 o_host_ = 0;
+};
+
+TEST_F(DataPlaneTest, DeliversAlongBgpPath) {
+  const auto result = dataplane_.forward(topo_.e, o_host_);
+  ASSERT_TRUE(result.delivered());
+  EXPECT_EQ(result.final_as, topo_.o);
+  // E prefers A: AS-level path E-A-B-O.
+  EXPECT_EQ(result.as_path(),
+            (std::vector<AsId>{topo_.e, topo_.a, topo_.b, topo_.o}));
+  // Router hops start at E's core and end at O's core.
+  EXPECT_EQ(result.hops.front(), net_.core(topo_.e));
+  EXPECT_EQ(result.hops.back(), net_.core(topo_.o));
+}
+
+TEST_F(DataPlaneTest, RouterHopsAreContiguousWithinEachAs) {
+  const auto result = dataplane_.forward(topo_.e, o_host_);
+  ASSERT_TRUE(result.delivered());
+  for (std::size_t i = 0; i + 1 < result.hops.size(); ++i) {
+    const auto& h = result.hops[i];
+    const auto& n = result.hops[i + 1];
+    if (h.as == n.as) {
+      EXPECT_NE(h.index, n.index);
+    } else {
+      // AS boundary: must leave via the border toward n.as and enter via
+      // the border toward h.as.
+      EXPECT_EQ(h, net_.border(h.as, n.as));
+      EXPECT_EQ(n, net_.border(n.as, h.as));
+    }
+  }
+}
+
+TEST_F(DataPlaneTest, NoRouteWhenNothingAnnounced) {
+  // 192.0.2.1 is outside every simulated prefix.
+  const auto result = dataplane_.forward(topo_.e, 0xC0000201);
+  EXPECT_EQ(result.status, dp::DeliveryStatus::kNoRoute);
+}
+
+TEST_F(DataPlaneTest, SilentBlackholeDropsInTransitButAsStaysReachable) {
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.o});
+  // E -> O transits A: dropped, and the drop point is A's ingress.
+  const auto via_a = dataplane_.forward(topo_.e, o_host_);
+  EXPECT_EQ(via_a.status, dp::DeliveryStatus::kDroppedAtAs);
+  EXPECT_EQ(via_a.final_as, topo_.a);
+  EXPECT_EQ(via_a.hops.back().as, topo_.a);
+  // But delivery *into* A still works: the failure is forwarding, not
+  // reachability of A itself.
+  const auto a_router =
+      topo::AddressPlan::router_address(topo::RouterId{topo_.a, 0});
+  EXPECT_TRUE(dataplane_.forward(topo_.e, a_router).delivered());
+}
+
+TEST_F(DataPlaneTest, BlackholeScopeLimitsCollateral) {
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.o});
+  // Traffic through A toward a *different* destination is unaffected:
+  // F -> E transits A (F is captive) with destination E.
+  const auto e_host = topo::AddressPlan::production_host(topo_.e);
+  bgp::OriginPolicy policy;
+  policy.default_path = bgp::AsPath{topo_.e};
+  engine_.originate(topo_.e, topo::AddressPlan::production_prefix(topo_.e),
+                    policy);
+  sched_.run();
+  EXPECT_TRUE(dataplane_.forward(topo_.f, e_host).delivered());
+}
+
+TEST_F(DataPlaneTest, UnscopedBlackholeDropsEverything) {
+  failures_.inject(dp::Failure{.at_as = topo_.a});
+  EXPECT_EQ(dataplane_.forward(topo_.e, o_host_).status,
+            dp::DeliveryStatus::kDroppedAtAs);
+  const auto b_router =
+      topo::AddressPlan::router_address(topo::RouterId{topo_.b, 0});
+  EXPECT_EQ(dataplane_.forward(topo_.f, b_router).status,
+            dp::DeliveryStatus::kDroppedAtAs);
+}
+
+TEST_F(DataPlaneTest, DirectionalLinkFailure) {
+  failures_.inject(dp::Failure{.at_link = topo::AsLinkKey(topo_.a, topo_.b),
+                               .direction_from = topo_.a});
+  // A -> B crossing fails...
+  const auto down = dataplane_.forward(topo_.e, o_host_);
+  EXPECT_EQ(down.status, dp::DeliveryStatus::kDroppedOnLink);
+  EXPECT_EQ(down.final_as, topo_.a);
+  EXPECT_EQ(down.hops.back(), net_.border(topo_.a, topo_.b));
+  // ...but B -> A still works: O's reply to a router in A is deliverable.
+  const auto a_router =
+      topo::AddressPlan::router_address(topo::RouterId{topo_.a, 1});
+  EXPECT_TRUE(dataplane_.forward(topo_.o, a_router).delivered());
+}
+
+TEST_F(DataPlaneTest, ClearedFailureRestoresDelivery) {
+  const auto id =
+      failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.o});
+  EXPECT_FALSE(dataplane_.forward(topo_.e, o_host_).delivered());
+  EXPECT_TRUE(failures_.clear(id));
+  EXPECT_FALSE(failures_.clear(id));
+  EXPECT_TRUE(dataplane_.forward(topo_.e, o_host_).delivered());
+}
+
+TEST_F(DataPlaneTest, FailureValidationRejectsAmbiguousSpec) {
+  EXPECT_THROW(failures_.inject(dp::Failure{}), std::invalid_argument);
+  EXPECT_THROW(
+      failures_.inject(dp::Failure{.at_as = topo_.a,
+                                   .at_link = topo::AsLinkKey(1, 2)}),
+      std::invalid_argument);
+}
+
+TEST_F(DataPlaneTest, SentinelFallbackForwardsCaptiveTraffic) {
+  remediator_.poison(topo_.a);
+  sched_.run();
+  // F's production route is gone, but the packet still leaves via the
+  // sentinel /23 toward A.
+  const auto result = dataplane_.forward(topo_.f, o_host_);
+  ASSERT_TRUE(result.delivered());
+  EXPECT_EQ(result.as_path().at(1), topo_.a);
+}
+
+TEST_F(DataPlaneTest, ForcedFirstHopOverridesFib) {
+  // E's FIB prefers A; force the first hop via D instead.
+  const auto result =
+      dataplane_.forward(topo_.e, o_host_, std::nullopt, topo_.d);
+  ASSERT_TRUE(result.delivered());
+  EXPECT_EQ(result.as_path().at(1), topo_.d);
+}
+
+TEST_F(DataPlaneTest, DeliveryToSpecificRouter) {
+  const auto target = topo::RouterId{topo_.b, 1};
+  const auto result =
+      dataplane_.forward(topo_.e, topo::AddressPlan::router_address(target));
+  ASSERT_TRUE(result.delivered());
+  EXPECT_EQ(result.hops.back(), target);
+}
+
+TEST_F(DataPlaneTest, RouterNetIntraPathShapes) {
+  EXPECT_EQ(net_.intra_path(net_.core(topo_.a), net_.core(topo_.a)).size(),
+            1u);
+  const auto b1 = net_.border(topo_.a, topo_.b);
+  const auto b2 = net_.border(topo_.a, topo_.c);
+  const auto path = net_.intra_path(b1, b2);
+  if (b1 == b2) {
+    EXPECT_EQ(path.size(), 1u);
+  } else {
+    EXPECT_GE(path.size(), 2u);
+    EXPECT_LE(path.size(), 3u);
+  }
+  EXPECT_THROW(net_.intra_path(net_.core(topo_.a), net_.core(topo_.b)),
+               std::invalid_argument);
+}
+
+TEST_F(DataPlaneTest, BorderRoutersNeverCollideWithCore) {
+  for (const AsId as : topo_.graph.as_ids()) {
+    if (net_.num_routers(as) <= 1) continue;
+    for (const auto& n : topo_.graph.neighbors(as)) {
+      EXPECT_NE(net_.border(as, n.id).index, 0) << "AS " << as;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lg

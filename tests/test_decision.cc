@@ -1,0 +1,81 @@
+#include "core/decision.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace lg {
+namespace {
+
+using core::DecisionConfig;
+using core::PoisonDecider;
+using topo::AsId;
+
+class DecisionTest : public ::testing::Test {
+ protected:
+  DecisionTest() : topo_(topo::make_fig2_topology()) {}
+  topo::Fig2Topology topo_;
+};
+
+TEST_F(DecisionTest, PoisonsOldOutageWithAlternates) {
+  const PoisonDecider decider(topo_.graph);
+  // E reporting problems reaching O via A; E has an alternate via D.
+  const AsId sources[] = {topo_.e};
+  const auto verdict = decider.decide(topo_.o, topo_.a, 600.0, sources);
+  EXPECT_TRUE(verdict.poison);
+  EXPECT_TRUE(verdict.alternate_exists);
+}
+
+TEST_F(DecisionTest, DeclinesYoungOutage) {
+  const PoisonDecider decider(topo_.graph);
+  const AsId sources[] = {topo_.e};
+  const auto verdict = decider.decide(topo_.o, topo_.a, 60.0, sources);
+  EXPECT_FALSE(verdict.poison);
+  EXPECT_NE(verdict.reason.find("young"), std::string::npos);
+}
+
+TEST_F(DecisionTest, DeclinesWhenNoAlternateExists) {
+  const PoisonDecider decider(topo_.graph);
+  // F is captive behind A: no policy path from F to O avoids A.
+  const AsId sources[] = {topo_.f};
+  const auto verdict = decider.decide(topo_.o, topo_.a, 600.0, sources);
+  EXPECT_FALSE(verdict.poison);
+  EXPECT_FALSE(verdict.alternate_exists);
+}
+
+TEST_F(DecisionTest, AlternateCheckCanBeDisabled) {
+  const PoisonDecider decider(
+      topo_.graph, DecisionConfig{.require_alternate_path = false});
+  const AsId sources[] = {topo_.f};
+  EXPECT_TRUE(decider.decide(topo_.o, topo_.a, 600.0, sources).poison);
+}
+
+TEST_F(DecisionTest, NeverPoisonsSelfOrStubOrSoleProvider) {
+  const PoisonDecider decider(topo_.graph);
+  const AsId sources[] = {topo_.e};
+  EXPECT_FALSE(decider.decide(topo_.o, topo_.o, 600.0, sources).poison);
+  // E is a stub (the destination edge, most likely).
+  EXPECT_FALSE(decider.decide(topo_.o, topo_.e, 600.0, sources).poison);
+  // B is O's sole provider.
+  EXPECT_FALSE(decider.decide(topo_.o, topo_.b, 600.0, sources).poison);
+}
+
+TEST_F(DecisionTest, AlternatePathFraction) {
+  const PoisonDecider decider(topo_.graph);
+  // E has an alternate avoiding A; F does not.
+  const AsId sources[] = {topo_.e, topo_.f};
+  EXPECT_DOUBLE_EQ(decider.alternate_path_fraction(topo_.o, topo_.a, sources),
+                   0.5);
+  EXPECT_DOUBLE_EQ(decider.alternate_path_fraction(topo_.o, topo_.a, {}),
+                   1.0);
+}
+
+TEST_F(DecisionTest, ThresholdIsConfigurable) {
+  const PoisonDecider decider(topo_.graph,
+                              DecisionConfig{.min_elapsed_seconds = 30.0});
+  const AsId sources[] = {topo_.e};
+  EXPECT_TRUE(decider.decide(topo_.o, topo_.a, 45.0, sources).poison);
+}
+
+}  // namespace
+}  // namespace lg

@@ -1,0 +1,108 @@
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace lg::topo {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedCounts) {
+  const TopologyParams params{.num_tier1 = 5,
+                              .num_large_transit = 10,
+                              .num_small_transit = 20,
+                              .num_stubs = 40,
+                              .seed = 1};
+  const auto topo = generate_topology(params);
+  EXPECT_EQ(topo.tier1.size(), 5u);
+  EXPECT_EQ(topo.large_transit.size(), 10u);
+  EXPECT_EQ(topo.small_transit.size(), 20u);
+  EXPECT_EQ(topo.stubs.size(), 40u);
+  EXPECT_EQ(topo.graph.num_ases(), 75u);
+}
+
+TEST(GeneratorTest, ValidatesCleanly) {
+  const auto topo = generate_topology({.seed = 2});
+  EXPECT_FALSE(topo.graph.validate().has_value());
+}
+
+TEST(GeneratorTest, Tier1FormsFullPeerClique) {
+  const auto topo = generate_topology({.num_tier1 = 6, .seed = 3});
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      EXPECT_EQ(topo.graph.relationship(topo.tier1[i], topo.tier1[j]),
+                Rel::kPeer);
+    }
+  }
+}
+
+TEST(GeneratorTest, StubsHaveOnlyProviders) {
+  const auto topo = generate_topology({.seed = 4});
+  for (const AsId stub : topo.stubs) {
+    EXPECT_TRUE(topo.graph.customers(stub).empty());
+    const auto providers = topo.graph.providers(stub);
+    EXPECT_GE(providers.size(), 1u);
+    EXPECT_LE(providers.size(), 3u);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const auto a = generate_topology({.seed = 77});
+  const auto b = generate_topology({.seed = 77});
+  EXPECT_EQ(a.graph.links(), b.graph.links());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const auto a = generate_topology({.seed = 1});
+  const auto b = generate_topology({.seed = 2});
+  EXPECT_NE(a.graph.links(), b.graph.links());
+}
+
+TEST(GeneratorTest, DegreeDistributionIsHeavyTailed) {
+  const auto topo = generate_topology({.seed = 9});
+  std::vector<std::size_t> degrees;
+  for (const AsId as : topo.graph.as_ids()) {
+    degrees.push_back(topo.graph.degree(as));
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  // Preferential attachment: the max degree should be far above the median.
+  const auto median = degrees[degrees.size() / 2];
+  EXPECT_GT(degrees.front(), median * 5);
+}
+
+TEST(GeneratorTest, RejectsDegenerateParams) {
+  EXPECT_THROW(generate_topology({.num_tier1 = 1}), std::invalid_argument);
+}
+
+TEST(Fig2TopologyTest, MatchesPaperStructure) {
+  const auto t = make_fig2_topology();
+  EXPECT_EQ(t.graph.relationship(t.o, t.b), Rel::kProvider);
+  EXPECT_EQ(t.graph.relationship(t.b, t.a), Rel::kProvider);
+  EXPECT_EQ(t.graph.relationship(t.a, t.c), Rel::kPeer);
+  // F is captive: single provider A.
+  EXPECT_EQ(t.graph.providers(t.f), std::vector<AsId>{t.a});
+  // E is multihomed to A and D.
+  const auto e_prov = t.graph.providers(t.e);
+  EXPECT_EQ(e_prov.size(), 2u);
+  EXPECT_FALSE(t.graph.validate().has_value());
+}
+
+TEST(Fig3TopologyTest, DisjointChainsToA) {
+  const auto t = make_fig3_topology();
+  // O multihomed to D1 and D2.
+  const auto o_prov = t.graph.providers(t.o);
+  EXPECT_EQ(o_prov.size(), 2u);
+  // The two chains D1-B1-A and D2-B2-A share only A.
+  EXPECT_TRUE(t.graph.has_link(t.d1, t.b1));
+  EXPECT_TRUE(t.graph.has_link(t.d2, t.b2));
+  EXPECT_TRUE(t.graph.has_link(t.b1, t.a));
+  EXPECT_TRUE(t.graph.has_link(t.b2, t.a));
+  EXPECT_FALSE(t.graph.has_link(t.d1, t.b2));
+  EXPECT_FALSE(t.graph.has_link(t.b1, t.b2));
+  // B2 numerically lower so A's tie-break initially picks the B2 chain.
+  EXPECT_LT(t.b2, t.b1);
+  EXPECT_FALSE(t.graph.validate().has_value());
+}
+
+}  // namespace
+}  // namespace lg::topo

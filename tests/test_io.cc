@@ -1,0 +1,108 @@
+#include "topology/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "topology/generator.h"
+
+namespace lg::topo {
+namespace {
+
+TEST(TopologyIoTest, ParseMinimalGraph) {
+  const auto g = from_caida(
+      "# a comment\n"
+      "1|2|-1\n"
+      "2|3|-1\n"
+      "1|4|0\n");
+  EXPECT_EQ(g.num_ases(), 4u);
+  EXPECT_EQ(g.num_links(), 3u);
+  EXPECT_EQ(g.relationship(2, 1), Rel::kProvider);  // 1 provides to 2
+  EXPECT_EQ(g.relationship(1, 2), Rel::kCustomer);
+  EXPECT_EQ(g.relationship(1, 4), Rel::kPeer);
+  // Tiers reclassified from structure.
+  EXPECT_EQ(g.tier(1), AsTier::kTier1);
+  EXPECT_EQ(g.tier(2), AsTier::kTransit);
+  EXPECT_EQ(g.tier(3), AsTier::kStub);
+}
+
+TEST(TopologyIoTest, AcceptsSerial2FourthField) {
+  const auto g = from_caida("1|2|-1|bgp\n");
+  EXPECT_EQ(g.num_links(), 1u);
+}
+
+TEST(TopologyIoTest, RoundTripPreservesGraph) {
+  const auto topo = generate_topology({.num_tier1 = 4,
+                                       .num_large_transit = 8,
+                                       .num_small_transit = 20,
+                                       .num_stubs = 50,
+                                       .seed = 77});
+  const auto text = to_caida(topo.graph);
+  const auto loaded = from_caida(text);
+  EXPECT_EQ(loaded.num_ases(), topo.graph.num_ases());
+  EXPECT_EQ(loaded.links(), topo.graph.links());
+  for (const auto& link : topo.graph.links()) {
+    EXPECT_EQ(loaded.relationship(link.a, link.b),
+              topo.graph.relationship(link.a, link.b));
+  }
+  // Reclassified tiers are structurally consistent (the generator labels by
+  // construction level; a "transit" that attracted no customers is
+  // structurally a stub, which is what reclassification reports).
+  for (const AsId as : loaded.as_ids()) {
+    const bool has_provider = !loaded.providers(as).empty();
+    const bool has_customer = !loaded.customers(as).empty();
+    switch (loaded.tier(as)) {
+      case AsTier::kTier1:
+        EXPECT_FALSE(has_provider) << "AS " << as;
+        break;
+      case AsTier::kTransit:
+        EXPECT_TRUE(has_provider && has_customer) << "AS " << as;
+        break;
+      case AsTier::kStub:
+        EXPECT_TRUE(has_provider && !has_customer) << "AS " << as;
+        break;
+    }
+  }
+  EXPECT_FALSE(loaded.validate().has_value());
+}
+
+TEST(TopologyIoTest, RejectsMalformedLines) {
+  EXPECT_THROW(from_caida("1|2\n"), std::invalid_argument);
+  EXPECT_THROW(from_caida("1|2|7\n"), std::invalid_argument);
+  EXPECT_THROW(from_caida("x|2|-1\n"), std::invalid_argument);
+  EXPECT_THROW(from_caida("1|1|-1\n"), std::invalid_argument);
+  EXPECT_THROW(from_caida("0|2|-1\n"), std::invalid_argument);
+  EXPECT_THROW(from_caida("1|2|-1\n1|2|0\n"), std::invalid_argument);
+  EXPECT_THROW(from_caida("99999999999|2|-1\n"), std::invalid_argument);
+}
+
+TEST(TopologyIoTest, ErrorsCarryLineNumbers) {
+  try {
+    from_caida("1|2|-1\nbroken\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TopologyIoTest, FileRoundTrip) {
+  const auto topo = generate_topology({.num_tier1 = 3,
+                                       .num_large_transit = 5,
+                                       .num_small_transit = 10,
+                                       .num_stubs = 20,
+                                       .seed = 3});
+  const std::string path = ::testing::TempDir() + "/lg_topo_io_test.txt";
+  save_caida_file(topo.graph, path);
+  const auto loaded = load_caida_file(path);
+  EXPECT_EQ(loaded.links(), topo.graph.links());
+  std::remove(path.c_str());
+}
+
+TEST(TopologyIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_caida_file("/nonexistent/nowhere.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lg::topo

@@ -1,0 +1,202 @@
+// Isolation engine accuracy on controlled scenarios: direction inference,
+// reverse-failure horizon analysis, forward blame, and the divergence from
+// traceroute-only diagnosis on reverse failures.
+#include <gtest/gtest.h>
+
+#include "core/isolation.h"
+#include "workload/scenarios.h"
+#include "workload/sim_world.h"
+
+namespace lg {
+namespace {
+
+using core::FailureDirection;
+using core::IsolationEngine;
+using core::PathAtlas;
+using measure::VantagePoint;
+using topo::AsId;
+
+class IsolationTest : public ::testing::Test {
+ protected:
+  IsolationTest() : world_(workload::SimWorld::small_config(11)) {
+    vps_ = world_.stub_vantage_ases(6);
+    for (const AsId as : vps_) world_.announce_production(as);
+    world_.converge();
+    vp_ = VantagePoint::in_as(vps_[0]);
+    for (std::size_t i = 1; i < vps_.size(); ++i) {
+      helpers_.push_back(VantagePoint::in_as(vps_[i]));
+      witness_ases_.push_back(vps_[i]);
+    }
+  }
+
+  // Pre-fill the atlas for (vp, target) like steady-state monitoring would.
+  void warm_atlas(measure::Prober& prober, topo::Ipv4 target) {
+    atlas_.refresh(prober, vp_, target, 0.0);
+  }
+
+  workload::SimWorld world_;
+  PathAtlas atlas_;
+  std::vector<AsId> vps_;
+  VantagePoint vp_;
+  std::vector<VantagePoint> helpers_;
+  std::vector<AsId> witness_ases_;
+};
+
+TEST_F(IsolationTest, ReportsTargetReachableWhenNoFailure) {
+  IsolationEngine engine(world_.prober(), atlas_);
+  const auto target =
+      topo::AddressPlan::router_address(topo::RouterId{vps_[1], 0});
+  warm_atlas(world_.prober(), target);
+  const auto result = engine.isolate(vp_, target, helpers_);
+  EXPECT_TRUE(result.target_reachable);
+  EXPECT_EQ(result.direction, FailureDirection::kNone);
+}
+
+TEST_F(IsolationTest, IsolatesReverseFailureToTheCulpritAs) {
+  workload::ScenarioGenerator gen(world_, 21);
+  int tested = 0;
+  int correct = 0;
+  int traceroute_divergent = 0;
+  for (const AsId target_as : world_.topology().stubs) {
+    if (target_as == vp_.as) continue;
+    auto scenario = gen.make(vp_.as, target_as, FailureDirection::kReverse, false, witness_ases_);
+    if (!scenario) continue;
+    // Warm the atlas with the failure cleared, as steady state would have.
+    auto ids = scenario->failure_ids;
+    scenario->failure_ids.clear();
+    std::vector<dp::FailureId> cleared = ids;
+    for (const auto id : cleared) world_.failures().clear(id);
+    warm_atlas(world_.prober(), scenario->target);
+    // Re-inject.
+    scenario->failure_ids.push_back(world_.failures().inject(dp::Failure{
+        .at_as = scenario->culprit_as, .toward_as = vp_.as}));
+
+    IsolationEngine engine(world_.prober(), atlas_);
+    const auto result = engine.isolate(vp_, scenario->target, helpers_);
+    ++tested;
+    EXPECT_EQ(result.direction, FailureDirection::kReverse)
+        << "target AS " << target_as;
+    if (result.blamed_as == scenario->culprit_as) ++correct;
+    if (result.traceroute_blame != result.blamed_as) ++traceroute_divergent;
+    gen.repair(*scenario);
+    if (tested >= 10) break;
+  }
+  ASSERT_GT(tested, 3);
+  // The controlled setting should be nearly perfect.
+  EXPECT_GE(correct * 10, tested * 8)
+      << correct << "/" << tested << " correct";
+  // And traceroute alone must frequently disagree (it sees a forward-looking
+  // horizon, §5.3).
+  EXPECT_GT(traceroute_divergent, 0);
+}
+
+TEST_F(IsolationTest, IsolatesForwardFailure) {
+  workload::ScenarioGenerator gen(world_, 22);
+  int tested = 0;
+  int correct = 0;
+  for (const AsId target_as : world_.topology().stubs) {
+    if (target_as == vp_.as) continue;
+    auto scenario = gen.make(vp_.as, target_as, FailureDirection::kForward, false, witness_ases_);
+    if (!scenario) continue;
+    auto cleared = scenario->failure_ids;
+    scenario->failure_ids.clear();
+    for (const auto id : cleared) world_.failures().clear(id);
+    warm_atlas(world_.prober(), scenario->target);
+    scenario->failure_ids.push_back(world_.failures().inject(dp::Failure{
+        .at_as = scenario->culprit_as, .toward_as = target_as}));
+
+    IsolationEngine engine(world_.prober(), atlas_);
+    const auto result = engine.isolate(vp_, scenario->target, helpers_);
+    ++tested;
+    EXPECT_EQ(result.direction, FailureDirection::kForward)
+        << "target AS " << target_as;
+    if (result.blamed_as == scenario->culprit_as) ++correct;
+    gen.repair(*scenario);
+    if (tested >= 10) break;
+  }
+  ASSERT_GT(tested, 3);
+  EXPECT_GE(correct * 10, tested * 8) << correct << "/" << tested;
+}
+
+TEST_F(IsolationTest, IsolatesBidirectionalFailure) {
+  workload::ScenarioGenerator gen(world_, 23);
+  int tested = 0;
+  int correct = 0;
+  for (const AsId target_as : world_.topology().stubs) {
+    if (target_as == vp_.as) continue;
+    auto scenario =
+        gen.make(vp_.as, target_as, FailureDirection::kBidirectional, false, witness_ases_);
+    if (!scenario) continue;
+    auto cleared = scenario->failure_ids;
+    scenario->failure_ids.clear();
+    for (const auto id : cleared) world_.failures().clear(id);
+    warm_atlas(world_.prober(), scenario->target);
+    scenario->failure_ids.push_back(world_.failures().inject(dp::Failure{
+        .at_as = scenario->culprit_as, .toward_as = target_as}));
+    scenario->failure_ids.push_back(world_.failures().inject(
+        dp::Failure{.at_as = scenario->culprit_as, .toward_as = vp_.as}));
+
+    IsolationEngine engine(world_.prober(), atlas_);
+    const auto result = engine.isolate(vp_, scenario->target, helpers_);
+    ++tested;
+    EXPECT_EQ(result.direction, FailureDirection::kBidirectional);
+    if (result.blamed_as == scenario->culprit_as) ++correct;
+    gen.repair(*scenario);
+    if (tested >= 8) break;
+  }
+  ASSERT_GT(tested, 2);
+  EXPECT_GE(correct * 10, tested * 7);
+}
+
+TEST_F(IsolationTest, AccountsProbesAndModeledTime) {
+  workload::ScenarioGenerator gen(world_, 24);
+  for (const AsId target_as : world_.topology().stubs) {
+    if (target_as == vp_.as) continue;
+    auto scenario = gen.make(vp_.as, target_as, FailureDirection::kReverse, false, witness_ases_);
+    if (!scenario) continue;
+    auto cleared = scenario->failure_ids;
+    scenario->failure_ids.clear();
+    for (const auto id : cleared) world_.failures().clear(id);
+    warm_atlas(world_.prober(), scenario->target);
+    scenario->failure_ids.push_back(world_.failures().inject(dp::Failure{
+        .at_as = scenario->culprit_as, .toward_as = vp_.as}));
+
+    IsolationEngine engine(world_.prober(), atlas_);
+    const auto result = engine.isolate(vp_, scenario->target, helpers_);
+    EXPECT_GT(result.probes_used, 0u);
+    EXPECT_GT(result.modeled_seconds, 0.0);
+    EXPECT_LT(result.modeled_seconds, 600.0);
+    gen.repair(*scenario);
+    return;
+  }
+  GTEST_SKIP() << "no scenario available";
+}
+
+TEST_F(IsolationTest, SuspectSetContainsBlamedAs) {
+  workload::ScenarioGenerator gen(world_, 25);
+  for (const AsId target_as : world_.topology().stubs) {
+    if (target_as == vp_.as) continue;
+    auto scenario = gen.make(vp_.as, target_as, FailureDirection::kReverse, false, witness_ases_);
+    if (!scenario) continue;
+    auto cleared = scenario->failure_ids;
+    scenario->failure_ids.clear();
+    for (const auto id : cleared) world_.failures().clear(id);
+    warm_atlas(world_.prober(), scenario->target);
+    scenario->failure_ids.push_back(world_.failures().inject(dp::Failure{
+        .at_as = scenario->culprit_as, .toward_as = vp_.as}));
+
+    IsolationEngine engine(world_.prober(), atlas_);
+    const auto result = engine.isolate(vp_, scenario->target, helpers_);
+    if (result.blamed_as) {
+      EXPECT_TRUE(std::find(result.suspect_ases.begin(),
+                            result.suspect_ases.end(),
+                            *result.blamed_as) != result.suspect_ases.end());
+    }
+    gen.repair(*scenario);
+    return;
+  }
+  GTEST_SKIP() << "no scenario available";
+}
+
+}  // namespace
+}  // namespace lg

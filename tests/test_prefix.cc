@@ -1,0 +1,128 @@
+#include "topology/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace lg::topo {
+namespace {
+
+TEST(Ipv4Test, FormatAndParseRoundTrip) {
+  EXPECT_EQ(format_ipv4(0x0A000001), "10.0.0.1");
+  EXPECT_EQ(format_ipv4(0xFFFFFFFF), "255.255.255.255");
+  EXPECT_EQ(format_ipv4(0), "0.0.0.0");
+  EXPECT_EQ(parse_ipv4("10.0.0.1"), 0x0A000001u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_ipv4("10.0.0"));
+  EXPECT_FALSE(parse_ipv4("10.0.0.256"));
+  EXPECT_FALSE(parse_ipv4("10.0.0.1.2"));
+  EXPECT_FALSE(parse_ipv4("a.b.c.d"));
+  EXPECT_FALSE(parse_ipv4(""));
+  EXPECT_FALSE(parse_ipv4("10..0.1"));
+}
+
+TEST(PrefixTest, MaskValues) {
+  EXPECT_EQ(Prefix::mask(0), 0u);
+  EXPECT_EQ(Prefix::mask(8), 0xFF000000u);
+  EXPECT_EQ(Prefix::mask(24), 0xFFFFFF00u);
+  EXPECT_EQ(Prefix::mask(32), 0xFFFFFFFFu);
+}
+
+TEST(PrefixTest, ConstructorClearsHostBits) {
+  const Prefix p(0x0A0000FF, 24);
+  EXPECT_EQ(p.addr(), 0x0A000000u);
+  EXPECT_EQ(p.length(), 24);
+}
+
+TEST(PrefixTest, ParseAndFormat) {
+  const auto p = Prefix::parse("10.1.2.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->str(), "10.1.2.0/24");
+  EXPECT_FALSE(Prefix::parse("10.1.2.0"));
+  EXPECT_FALSE(Prefix::parse("10.1.2.0/33"));
+  EXPECT_FALSE(Prefix::parse("10.1.2.0/x"));
+}
+
+TEST(PrefixTest, Contains) {
+  const Prefix p(0x0A000000, 24);
+  EXPECT_TRUE(p.contains(0x0A000000));
+  EXPECT_TRUE(p.contains(0x0A0000FF));
+  EXPECT_FALSE(p.contains(0x0A000100));
+}
+
+TEST(PrefixTest, CoversIsReflexiveAndOrdersBySpecificity) {
+  const Prefix wide(0x0A000000, 23);
+  const Prefix narrow(0x0A000000, 24);
+  EXPECT_TRUE(wide.covers(wide));
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  const Prefix sibling(0x0A000100, 24);
+  EXPECT_TRUE(wide.covers(sibling));
+  EXPECT_FALSE(narrow.covers(sibling));
+}
+
+TEST(PrefixTest, ParentCoversChild) {
+  const Prefix p(0x0A000100, 24);
+  const Prefix parent = p.parent();
+  EXPECT_EQ(parent.length(), 23);
+  EXPECT_TRUE(parent.covers(p));
+  // /23 parent of an odd /24 starts at the even boundary.
+  EXPECT_EQ(parent.addr(), 0x0A000000u);
+}
+
+TEST(PrefixTest, FirstLastAddress) {
+  const Prefix p(0x0A000000, 24);
+  EXPECT_EQ(p.first_address(), 0x0A000000u);
+  EXPECT_EQ(p.last_address(), 0x0A0000FFu);
+}
+
+TEST(PrefixTableTest, ExactInsertAndLookup) {
+  PrefixTable<int> table;
+  table.insert(Prefix(0x0A000000, 24), 1);
+  EXPECT_NE(table.exact(Prefix(0x0A000000, 24)), nullptr);
+  EXPECT_EQ(*table.exact(Prefix(0x0A000000, 24)), 1);
+  EXPECT_EQ(table.exact(Prefix(0x0A000000, 23)), nullptr);
+}
+
+TEST(PrefixTableTest, LongestPrefixMatchPrefersMoreSpecific) {
+  PrefixTable<int> table;
+  table.insert(Prefix(0x0A000000, 23), 23);
+  table.insert(Prefix(0x0A000000, 24), 24);
+  const auto hit = table.lookup(0x0A000001);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 24);
+  // Address only in the /23's upper half falls back to the /23.
+  const auto fallback = table.lookup(0x0A000101);
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(*fallback->second, 23);
+}
+
+TEST(PrefixTableTest, LookupMissReturnsNullopt) {
+  PrefixTable<int> table;
+  table.insert(Prefix(0x0A000000, 24), 1);
+  EXPECT_FALSE(table.lookup(0x0B000000).has_value());
+}
+
+TEST(PrefixTableTest, InsertOverwritesAndEraseRemoves) {
+  PrefixTable<int> table;
+  const Prefix p(0x0A000000, 24);
+  table.insert(p, 1);
+  table.insert(p, 2);
+  EXPECT_EQ(*table.exact(p), 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.erase(p));
+  EXPECT_FALSE(table.erase(p));
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(PrefixTableTest, DefaultRouteMatchesEverything) {
+  PrefixTable<int> table;
+  table.insert(Prefix(0, 0), 7);
+  const auto hit = table.lookup(0xDEADBEEF);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 7);
+}
+
+}  // namespace
+}  // namespace lg::topo

@@ -1,0 +1,196 @@
+// Probe semantics: pings need both directions; traceroute goes blind behind
+// a reverse failure (the effect that fools operators, §2.3); spoofed probes
+// split the directions; reverse traceroute needs a responsive far end.
+#include <gtest/gtest.h>
+
+#include "core/remediation.h"
+#include "measure/probes.h"
+#include "measure/vantage.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+
+namespace lg {
+namespace {
+
+using topo::AsId;
+
+class ProbeTest : public ::testing::Test {
+ protected:
+  ProbeTest()
+      : topo_(topo::make_fig2_topology()),
+        engine_(topo_.graph, sched_),
+        net_(topo_.graph),
+        dataplane_(engine_, net_, failures_),
+        resp_(measure::ResponsivenessConfig{.never_respond_frac = 0.0}),
+        prober_(dataplane_, resp_) {
+    for (const AsId as : topo_.graph.as_ids()) {
+      bgp::OriginPolicy infra;
+      infra.default_path = bgp::AsPath{as};
+      engine_.originate(as, topo::AddressPlan::infrastructure_prefix(as),
+                        infra);
+      bgp::OriginPolicy prod;
+      prod.default_path = bgp::AsPath{as};
+      engine_.originate(as, topo::AddressPlan::production_prefix(as), prod);
+    }
+    sched_.run();
+    e_vp_ = measure::VantagePoint::in_as(topo_.e);
+    f_vp_ = measure::VantagePoint::in_as(topo_.f);
+    o_host_ = topo::AddressPlan::production_host(topo_.o);
+  }
+
+  topo::Fig2Topology topo_;
+  util::Scheduler sched_;
+  bgp::BgpEngine engine_;
+  dp::RouterNet net_;
+  dp::FailureInjector failures_;
+  dp::DataPlane dataplane_;
+  measure::Responsiveness resp_;
+  measure::Prober prober_;
+  measure::VantagePoint e_vp_, f_vp_;
+  topo::Ipv4 o_host_ = 0;
+};
+
+TEST_F(ProbeTest, PingSucceedsOnHealthyPath) {
+  const auto r = prober_.ping(e_vp_.as, o_host_, e_vp_.addr);
+  EXPECT_TRUE(r.replied);
+  EXPECT_TRUE(r.forward_delivered);
+  EXPECT_TRUE(r.reverse_delivered);
+  EXPECT_EQ(prober_.budget().pings, 1u);
+}
+
+TEST_F(ProbeTest, PingFailsOnForwardFailure) {
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.o});
+  const auto r = prober_.ping(e_vp_.as, o_host_, e_vp_.addr);
+  EXPECT_FALSE(r.replied);
+  EXPECT_FALSE(r.forward_delivered);
+}
+
+TEST_F(ProbeTest, PingFailsOnReverseFailure) {
+  // A drops traffic toward E: the echo request arrives, the reply dies.
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.e});
+  const auto r = prober_.ping(e_vp_.as, o_host_, e_vp_.addr);
+  EXPECT_FALSE(r.replied);
+  EXPECT_TRUE(r.forward_delivered);
+  EXPECT_TRUE(r.responder_answered);
+  EXPECT_FALSE(r.reverse_delivered);
+}
+
+TEST_F(ProbeTest, SpoofedPingIsolatesDirection) {
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.e});
+  // Forward direction works: E's probe to O with replies spoofed to F...
+  // F's reverse path from O is O-B-A-F which crosses A but is scoped to E,
+  // so it works.
+  EXPECT_TRUE(prober_.spoofed_ping(e_vp_.as, o_host_, f_vp_.addr).replied);
+  // Reverse direction to E is dead no matter who sends the probe.
+  EXPECT_FALSE(prober_.spoofed_ping(f_vp_.as, o_host_, e_vp_.addr).replied);
+}
+
+TEST_F(ProbeTest, TracerouteSeesFullPathWhenHealthy) {
+  const auto tr = prober_.traceroute(e_vp_.as, o_host_, e_vp_.addr);
+  EXPECT_EQ(tr.forward_status, dp::DeliveryStatus::kDelivered);
+  EXPECT_TRUE(tr.destination_replied);
+  for (const auto& hop : tr.hops) {
+    EXPECT_TRUE(hop.has_value());
+  }
+  EXPECT_EQ(tr.responsive_as_path(),
+            (std::vector<AsId>{topo_.e, topo_.a, topo_.b, topo_.o}));
+}
+
+TEST_F(ProbeTest, TracerouteTruncatesAtForwardFailure) {
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.o});
+  const auto tr = prober_.traceroute(e_vp_.as, o_host_, e_vp_.addr);
+  EXPECT_EQ(tr.forward_status, dp::DeliveryStatus::kDroppedAtAs);
+  EXPECT_FALSE(tr.destination_replied);
+  // Last visible hop is A's ingress border (the packet died inside A).
+  const auto last = tr.last_responsive();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->as, topo_.a);
+}
+
+TEST_F(ProbeTest, TracerouteLiesUnderReverseFailure) {
+  // A drops toward E. Forward packets sail through to O, but replies from
+  // hops whose route to E crosses A are lost: traceroute *looks* like a
+  // forward failure near the last hop that can still reach E.
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.e});
+  const auto tr = prober_.traceroute(e_vp_.as, o_host_, e_vp_.addr);
+  // The forward path itself was fine...
+  EXPECT_EQ(tr.forward_status, dp::DeliveryStatus::kDelivered);
+  // ...but the destination's reply is lost,
+  EXPECT_FALSE(tr.destination_replied);
+  // and hops in B and O (reverse routes through A) are silent. Only hops
+  // in E itself and in A (A's own replies to E are *its own* traffic...
+  // which it also drops) — check that the last responsive hop is before B.
+  const auto last_as = tr.last_responsive_as();
+  ASSERT_TRUE(last_as.has_value());
+  EXPECT_NE(*last_as, topo_.o);
+  EXPECT_NE(*last_as, topo_.b);
+}
+
+TEST_F(ProbeTest, SpoofedTracerouteMeasuresForwardPathDuringReverseFailure) {
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.e});
+  const auto tr = prober_.spoofed_traceroute(e_vp_.as, o_host_, f_vp_.addr);
+  EXPECT_EQ(tr.forward_status, dp::DeliveryStatus::kDelivered);
+  // With replies going to F, every hop is visible again.
+  std::size_t visible = 0;
+  for (const auto& hop : tr.hops) visible += hop.has_value();
+  EXPECT_EQ(visible, tr.hops.size());
+}
+
+TEST_F(ProbeTest, ReverseTracerouteReturnsReversePath) {
+  const auto rev = prober_.reverse_traceroute(o_host_, e_vp_.addr);
+  ASSERT_TRUE(rev.has_value());
+  EXPECT_TRUE(rev->delivered());
+  EXPECT_EQ(rev->hops.front().as, topo_.o);
+  EXPECT_EQ(rev->hops.back().as, topo_.e);
+  EXPECT_GT(prober_.budget().option_probes, 0u);
+}
+
+TEST_F(ProbeTest, ReverseTracerouteFailsWhenReversePathBroken) {
+  failures_.inject(dp::Failure{.at_as = topo_.a, .toward_as = topo_.e});
+  EXPECT_FALSE(prober_.reverse_traceroute(o_host_, e_vp_.addr).has_value());
+}
+
+TEST_F(ProbeTest, NeverRespondingRouterIsSilentButForwards) {
+  measure::Responsiveness deaf(
+      measure::ResponsivenessConfig{.never_respond_frac = 1.0});
+  measure::Prober deaf_prober(dataplane_, deaf);
+  // Router targets never answer...
+  const auto a_router =
+      topo::AddressPlan::router_address(topo::RouterId{topo_.a, 0});
+  EXPECT_FALSE(deaf_prober.ping(e_vp_.as, a_router, e_vp_.addr).replied);
+  EXPECT_FALSE(deaf_prober.target_responds(a_router));
+  // ...but host targets still do, and packets still flow through routers.
+  EXPECT_TRUE(deaf_prober.ping(e_vp_.as, o_host_, e_vp_.addr).replied);
+  EXPECT_TRUE(deaf_prober.target_responds(o_host_));
+}
+
+TEST_F(ProbeTest, RateLimitingDropsSomeReplies) {
+  measure::Responsiveness lossy(measure::ResponsivenessConfig{
+      .never_respond_frac = 0.0, .rate_limit_drop_prob = 0.5, .seed = 3});
+  measure::Prober lossy_prober(dataplane_, lossy);
+  int ok = 0;
+  for (int i = 0; i < 200; ++i) {
+    ok += lossy_prober.ping(e_vp_.as, o_host_, e_vp_.addr).replied;
+  }
+  EXPECT_GT(ok, 50);
+  EXPECT_LT(ok, 150);
+}
+
+TEST_F(ProbeTest, BudgetAccumulatesPerKind) {
+  prober_.budget().reset();
+  prober_.ping(e_vp_.as, o_host_, e_vp_.addr);
+  prober_.spoofed_ping(e_vp_.as, o_host_, f_vp_.addr);
+  prober_.traceroute(e_vp_.as, o_host_, e_vp_.addr);
+  prober_.reverse_traceroute(o_host_, e_vp_.addr);
+  const auto& b = prober_.budget();
+  EXPECT_EQ(b.pings, 1u);
+  EXPECT_EQ(b.spoofed_pings, 1u);
+  EXPECT_GT(b.traceroute_probes, 2u);  // per-hop + reverse-traceroute's 2
+  EXPECT_EQ(b.option_probes, 10u);
+  EXPECT_EQ(b.total(),
+            b.pings + b.traceroute_probes + b.spoofed_pings +
+                b.spoofed_traceroute_probes + b.option_probes);
+}
+
+}  // namespace
+}  // namespace lg

@@ -1,0 +1,198 @@
+// Property suite: topology, prefix, and oracle invariants over parameter
+// sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/addressing.h"
+#include "topology/generator.h"
+#include "topology/valley_free.h"
+#include "util/rng.h"
+
+namespace lg {
+namespace {
+
+using topo::AsId;
+
+// ---- Generator invariants over seeds and sizes ----
+
+struct GenParams {
+  std::uint64_t seed;
+  std::uint32_t tier1;
+  std::uint32_t large;
+  std::uint32_t small;
+  std::uint32_t stubs;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenParams> {};
+
+TEST_P(GeneratorPropertyTest, StructuralInvariants) {
+  const auto& p = GetParam();
+  const auto topo = topo::generate_topology({.num_tier1 = p.tier1,
+                                             .num_large_transit = p.large,
+                                             .num_small_transit = p.small,
+                                             .num_stubs = p.stubs,
+                                             .seed = p.seed});
+  // Validation is the aggregate invariant (tiers coherent, provider paths
+  // to tier-1, acyclic customer-provider hierarchy).
+  EXPECT_FALSE(topo.graph.validate().has_value());
+  // Tier lists partition the AS set.
+  EXPECT_EQ(topo.tier1.size() + topo.large_transit.size() +
+                topo.small_transit.size() + topo.stubs.size(),
+            topo.graph.num_ases());
+  // Relationship symmetry on every link.
+  for (const auto& link : topo.graph.links()) {
+    const auto ab = topo.graph.relationship(link.a, link.b);
+    const auto ba = topo.graph.relationship(link.b, link.a);
+    ASSERT_TRUE(ab.has_value());
+    ASSERT_TRUE(ba.has_value());
+    EXPECT_EQ(topo::reverse(*ab), *ba);
+  }
+}
+
+TEST_P(GeneratorPropertyTest, FullPolicyReachability) {
+  const auto& p = GetParam();
+  const auto topo = topo::generate_topology({.num_tier1 = p.tier1,
+                                             .num_large_transit = p.large,
+                                             .num_small_transit = p.small,
+                                             .num_stubs = p.stubs,
+                                             .seed = p.seed});
+  const topo::ValleyFreeOracle oracle(topo.graph);
+  util::Rng rng(p.seed, 0xabcdULL);
+  const auto ids = topo.graph.as_ids();
+  for (int i = 0; i < 30; ++i) {
+    const AsId a = rng.pick(ids);
+    const AsId b = rng.pick(ids);
+    EXPECT_TRUE(oracle.reachable(a, b)) << a << " -> " << b;
+  }
+}
+
+TEST_P(GeneratorPropertyTest, OraclePathsAreRealPaths) {
+  const auto& p = GetParam();
+  const auto topo = topo::generate_topology({.num_tier1 = p.tier1,
+                                             .num_large_transit = p.large,
+                                             .num_small_transit = p.small,
+                                             .num_stubs = p.stubs,
+                                             .seed = p.seed});
+  const topo::ValleyFreeOracle oracle(topo.graph);
+  util::Rng rng(p.seed, 0xef01ULL);
+  const auto ids = topo.graph.as_ids();
+  for (int i = 0; i < 20; ++i) {
+    const AsId a = rng.pick(ids);
+    const AsId b = rng.pick(ids);
+    const auto path = oracle.shortest_path(a, b);
+    if (path.empty()) continue;
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      EXPECT_TRUE(topo.graph.has_link(path[h], path[h + 1]))
+          << path[h] << "-" << path[h + 1];
+    }
+    // No repeated AS on a shortest path.
+    auto sorted = path;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST_P(GeneratorPropertyTest, AvoidanceIsSound) {
+  // Any path returned under an avoidance constraint truly avoids it.
+  const auto& p = GetParam();
+  const auto topo = topo::generate_topology({.num_tier1 = p.tier1,
+                                             .num_large_transit = p.large,
+                                             .num_small_transit = p.small,
+                                             .num_stubs = p.stubs,
+                                             .seed = p.seed});
+  const topo::ValleyFreeOracle oracle(topo.graph);
+  util::Rng rng(p.seed, 0x1357ULL);
+  const auto transits = topo.transit();
+  for (int i = 0; i < 20; ++i) {
+    const AsId a = rng.pick(topo.stubs);
+    const AsId b = rng.pick(topo.stubs);
+    const AsId avoid = rng.pick(transits);
+    const auto path =
+        oracle.shortest_path(a, b, topo::Avoidance::of_as(avoid));
+    for (const AsId hop : path) EXPECT_NE(hop, avoid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorPropertyTest,
+    ::testing::Values(GenParams{1, 3, 6, 15, 40}, GenParams{2, 4, 10, 30, 80},
+                      GenParams{3, 8, 20, 60, 200},
+                      GenParams{4, 2, 4, 10, 25},
+                      GenParams{5, 12, 30, 80, 300}));
+
+// ---- Prefix/addressing properties over random addresses ----
+
+class PrefixPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixPropertyTest, CoversIsPartialOrderAndContainsAgrees) {
+  util::Rng rng(GetParam(), 0x9999ULL);
+  for (int i = 0; i < 2000; ++i) {
+    const auto addr = rng.next_u32();
+    const auto len1 = static_cast<std::uint8_t>(rng.uniform_u32(33));
+    const auto len2 = static_cast<std::uint8_t>(rng.uniform_u32(33));
+    const topo::Prefix p1(addr, len1);
+    const topo::Prefix p2(addr, len2);
+    // Same base address: the shorter prefix covers the longer.
+    if (len1 <= len2) {
+      EXPECT_TRUE(p1.covers(p2));
+    } else {
+      EXPECT_TRUE(p2.covers(p1));
+    }
+    // covers => contains for every member address we can sample.
+    const auto member = p1.addr() | (rng.next_u32() & ~topo::Prefix::mask(len1));
+    EXPECT_TRUE(p1.contains(member));
+    // parent always covers.
+    EXPECT_TRUE(p1.parent().covers(p1));
+  }
+}
+
+TEST_P(PrefixPropertyTest, LpmAlwaysReturnsMostSpecificMatch) {
+  util::Rng rng(GetParam(), 0x7777ULL);
+  topo::PrefixTable<int> table;
+  std::vector<topo::Prefix> inserted;
+  for (int i = 0; i < 200; ++i) {
+    const topo::Prefix p(rng.next_u32(),
+                         static_cast<std::uint8_t>(8 + rng.uniform_u32(25)));
+    table.insert(p, static_cast<int>(i));
+    inserted.push_back(p);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const auto addr = rng.next_u32();
+    const auto hit = table.lookup(addr);
+    // Reference: brute force.
+    const topo::Prefix* best = nullptr;
+    for (const auto& p : inserted) {
+      if (!p.contains(addr)) continue;
+      if (best == nullptr || p.length() > best->length()) best = &p;
+    }
+    ASSERT_EQ(hit.has_value(), best != nullptr);
+    if (best != nullptr) {
+      EXPECT_EQ(hit->first.length(), best->length());
+    }
+  }
+}
+
+TEST_P(PrefixPropertyTest, AddressPlanIsInjective) {
+  util::Rng rng(GetParam(), 0x4242ULL);
+  for (int i = 0; i < 500; ++i) {
+    const auto as1 = static_cast<AsId>(1 + rng.uniform_u32(32000));
+    const auto as2 = static_cast<AsId>(1 + rng.uniform_u32(32000));
+    if (as1 == as2) continue;
+    EXPECT_FALSE(topo::AddressPlan::sentinel_prefix(as1).covers(
+        topo::AddressPlan::production_prefix(as2)));
+    EXPECT_NE(topo::AddressPlan::production_host(as1),
+              topo::AddressPlan::production_host(as2));
+    EXPECT_EQ(topo::AddressPlan::owner_of(
+                  topo::AddressPlan::production_host(as1)),
+              as1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixPropertyTest,
+                         ::testing::Values(10, 20, 30));
+
+}  // namespace
+}  // namespace lg

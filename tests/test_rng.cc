@@ -1,0 +1,154 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace lg::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformU32RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u32(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform_u32(0), 0u);
+  EXPECT_EQ(rng.uniform_u32(1), 0u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / n, 42.0, 1.0);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ParetoRespectsMinimumAndHeavyTail) {
+  Rng rng(19);
+  int above_10x = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(600.0, 1.1);
+    EXPECT_GE(x, 600.0);
+    if (x > 6000.0) ++above_10x;
+  }
+  // P(X > 10 x_min) = 10^-1.1 ~= 7.9%.
+  EXPECT_NEAR(static_cast<double>(above_10x) / n, 0.079, 0.01);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(23);
+  int rank0 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto r = rng.zipf(100, 1.2);
+    EXPECT_LT(r, 100u);
+    if (r == 0) ++rank0;
+  }
+  EXPECT_GT(rank0, n / 10);  // heavy head
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(29);
+  const auto s = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(s.size(), 20u);
+  std::set<std::size_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 20u);
+  for (const auto v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsK) {
+  Rng rng(31);
+  const auto s = rng.sample_without_replacement(5, 10);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.fork(1);
+  // The child should not replay the parent's output.
+  Rng b(41);
+  (void)b.next_u64();  // parent consumed one u64 to fork
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace lg::util

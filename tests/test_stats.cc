@@ -1,0 +1,134 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace lg::util {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryTest, MeanVarianceMinMax) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.5714, 1e-3);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, MergeEqualsCombinedStream) {
+  Summary a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.7;
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(EmpiricalCdfTest, CdfAndQuantiles) {
+  EmpiricalCdf c;
+  for (int i = 1; i <= 100; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.cdf(50), 0.5);
+  EXPECT_DOUBLE_EQ(c.cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(c.cdf(100), 1.0);
+  EXPECT_EQ(c.quantile(0.5), 50.0);
+  EXPECT_EQ(c.quantile(0.0), 1.0);
+  EXPECT_EQ(c.quantile(1.0), 100.0);
+  EXPECT_EQ(c.median(), 50.0);
+}
+
+TEST(EmpiricalCdfTest, MassFractionAbove) {
+  EmpiricalCdf c;
+  // Nine short outages of 1 unit, one long of 91: the long one is 91% of
+  // total mass — the Fig. 1 dotted-line computation.
+  for (int i = 0; i < 9; ++i) c.add(1.0);
+  c.add(91.0);
+  EXPECT_NEAR(c.mass_fraction_above(1.0), 0.91, 1e-9);
+  EXPECT_NEAR(c.mass_fraction_above(100.0), 0.0, 1e-9);
+  EXPECT_NEAR(c.mass_fraction_above(0.5), 1.0, 1e-9);
+}
+
+TEST(EmpiricalCdfTest, MeanResidual) {
+  EmpiricalCdf c;
+  c.add(10.0);
+  c.add(20.0);
+  c.add(30.0);
+  // Survivors past 15: {20, 30}; residuals {5, 15}; mean 10.
+  EXPECT_DOUBLE_EQ(c.mean_residual(15.0), 10.0);
+  EXPECT_EQ(c.count_above(15.0), 2u);
+  EXPECT_DOUBLE_EQ(c.residual_quantile(15.0, 0.5), 5.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyIsSafe) {
+  EmpiricalCdf c;
+  EXPECT_EQ(c.cdf(1.0), 0.0);
+  EXPECT_EQ(c.quantile(0.5), 0.0);
+  EXPECT_EQ(c.mean_residual(1.0), 0.0);
+  EXPECT_EQ(c.mass_fraction_above(1.0), 0.0);
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+TEST(TallyTest, CountsAndFractions) {
+  Tally t;
+  t.add("a");
+  t.add("a");
+  t.add("b", 2);
+  EXPECT_EQ(t.get("a"), 2u);
+  EXPECT_EQ(t.get("b"), 2u);
+  EXPECT_EQ(t.get("c"), 0u);
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_DOUBLE_EQ(t.fraction("a"), 0.5);
+}
+
+TEST(StringsTest, Formatting) {
+  EXPECT_EQ(pct(0.123456), "12.3%");
+  EXPECT_EQ(pct(0.5, 0), "50%");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(lpad("x", 3), "  x");
+  EXPECT_EQ(rpad("x", 3), "x  ");
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  const auto parts = split("a.b..c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}, ","), "1,2,3");
+}
+
+TEST(StringsTest, RenderTableAligns) {
+  const auto s = render_table({{"h1", "h2"}, {"a", "bbbb"}, {"cc", "d"}});
+  EXPECT_NE(s.find("h1"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lg::util

@@ -1,0 +1,158 @@
+#include "topology/valley_free.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace lg::topo {
+namespace {
+
+// Chain: 1 (tier-1) provides to 2, which provides to 3. Peer 4 of 2.
+AsGraph chain_with_peer() {
+  AsGraph g;
+  g.add_as(1, AsTier::kTier1);
+  g.add_as(2, AsTier::kTransit);
+  g.add_as(3, AsTier::kStub);
+  g.add_as(4, AsTier::kTransit);
+  g.add_as(5, AsTier::kStub);
+  g.add_link(2, 1, Rel::kProvider);
+  g.add_link(3, 2, Rel::kProvider);
+  g.add_link(2, 4, Rel::kPeer);
+  g.add_link(4, 1, Rel::kProvider);
+  g.add_link(5, 4, Rel::kProvider);
+  return g;
+}
+
+TEST(ValleyFreeTest, UpThenDownIsAllowed) {
+  const auto g = chain_with_peer();
+  const ValleyFreeOracle oracle(g);
+  // 3 -> 2 -> 4 -> 5: up to provider 2, peer across to 4, down to 5.
+  EXPECT_TRUE(oracle.reachable(3, 5));
+  const auto path = oracle.shortest_path(3, 5);
+  EXPECT_EQ(path, (std::vector<AsId>{3, 2, 4, 5}));
+}
+
+TEST(ValleyFreeTest, ValleyIsRejected) {
+  AsGraph g;
+  // 1 and 3 are providers of 2; 2 is the valley: 1 -> 2 -> 3 would go
+  // down then up, which export policy forbids.
+  g.add_as(1, AsTier::kTier1);
+  g.add_as(3, AsTier::kTier1);
+  g.add_as(2, AsTier::kStub);
+  g.add_link(2, 1, Rel::kProvider);
+  g.add_link(2, 3, Rel::kProvider);
+  const ValleyFreeOracle oracle(g);
+  EXPECT_FALSE(oracle.reachable(1, 3));
+  EXPECT_TRUE(oracle.reachable(1, 2));
+  EXPECT_TRUE(oracle.reachable(2, 3));
+}
+
+TEST(ValleyFreeTest, TwoPeerHopsAreRejected) {
+  AsGraph g;
+  g.add_as(1, AsTier::kTier1);
+  g.add_as(2, AsTier::kTier1);
+  g.add_as(3, AsTier::kTier1);
+  g.add_link(1, 2, Rel::kPeer);
+  g.add_link(2, 3, Rel::kPeer);
+  const ValleyFreeOracle oracle(g);
+  // 1 -> 2 (peer) -> 3 (peer) requires two peer traversals: invalid.
+  EXPECT_FALSE(oracle.reachable(1, 3));
+  EXPECT_TRUE(oracle.reachable(1, 2));
+}
+
+TEST(ValleyFreeTest, AvoidedAsBlocksPath) {
+  const auto g = chain_with_peer();
+  const ValleyFreeOracle oracle(g);
+  EXPECT_TRUE(oracle.reachable(3, 1));
+  EXPECT_FALSE(oracle.reachable(3, 1, Avoidance::of_as(2)));
+  EXPECT_FALSE(oracle.reachable(3, 5, Avoidance::of_as(4)));
+}
+
+TEST(ValleyFreeTest, UpAfterPeerIsRejected) {
+  const auto g = chain_with_peer();
+  const ValleyFreeOracle oracle(g);
+  // With link 2-1 blocked, the only remaining candidate 3 -> 2 -> 4 -> 1
+  // needs an *up* move (4 to its provider 1) after the peer hop 2-4, which
+  // export policy forbids: 4 would not export a peer-learned route to a
+  // provider... and symmetric reasoning kills the reverse. No path.
+  EXPECT_TRUE(oracle.shortest_path(3, 1, Avoidance::of_link(2, 1)).empty());
+}
+
+TEST(ValleyFreeTest, AvoidedLinkForcesDetourViaSecondProvider) {
+  auto g = chain_with_peer();
+  g.add_as(6, AsTier::kTransit);
+  g.add_link(2, 6, Rel::kProvider);  // 6 is 2's second provider
+  g.add_link(6, 1, Rel::kProvider);  // 1 is 6's provider
+  const ValleyFreeOracle oracle(g);
+  // 3 -> 2 -> 1 blocked on link 2-1: climb via provider 6 instead.
+  const auto path = oracle.shortest_path(3, 1, Avoidance::of_link(2, 1));
+  EXPECT_EQ(path, (std::vector<AsId>{3, 2, 6, 1}));
+}
+
+TEST(ValleyFreeTest, EndpointInAvoidSetIsUnreachable) {
+  const auto g = chain_with_peer();
+  const ValleyFreeOracle oracle(g);
+  EXPECT_FALSE(oracle.reachable(3, 1, Avoidance::of_as(3)));
+  EXPECT_FALSE(oracle.reachable(3, 1, Avoidance::of_as(1)));
+}
+
+TEST(ValleyFreeTest, SelfIsTriviallyReachable) {
+  const auto g = chain_with_peer();
+  const ValleyFreeOracle oracle(g);
+  EXPECT_EQ(oracle.shortest_path(3, 3), std::vector<AsId>{3});
+}
+
+TEST(ValleyFreeTest, UnknownAsesAreUnreachable) {
+  const auto g = chain_with_peer();
+  const ValleyFreeOracle oracle(g);
+  EXPECT_FALSE(oracle.reachable(3, 99));
+  EXPECT_FALSE(oracle.reachable(99, 3));
+}
+
+TEST(ValleyFreeTest, GeneratedTopologyIsFullyConnected) {
+  const auto topo = generate_topology({.num_tier1 = 4,
+                                       .num_large_transit = 8,
+                                       .num_small_transit = 20,
+                                       .num_stubs = 50,
+                                       .seed = 5});
+  const ValleyFreeOracle oracle(topo.graph);
+  // Every stub can reach every tier-1 (via its provider chain) and
+  // vice versa (down the customer cone or across the clique).
+  for (const AsId stub : topo.stubs) {
+    for (const AsId t1 : topo.tier1) {
+      EXPECT_TRUE(oracle.reachable(stub, t1))
+          << "stub " << stub << " cannot reach tier1 " << t1;
+      EXPECT_TRUE(oracle.reachable(t1, stub))
+          << "tier1 " << t1 << " cannot reach stub " << stub;
+    }
+  }
+}
+
+TEST(ObservedTripleSetTest, ContainsRecordedTriplesBothDirections) {
+  ObservedTripleSet set;
+  const std::vector<AsId> path{1, 2, 3, 4};
+  set.add_path(path);
+  EXPECT_TRUE(set.contains(1, 2, 3));
+  EXPECT_TRUE(set.contains(2, 3, 4));
+  EXPECT_TRUE(set.contains(3, 2, 1));  // reversed
+  EXPECT_FALSE(set.contains(1, 3, 4));
+}
+
+TEST(ObservedTripleSetTest, ShortPathsRecordNothingButValidate) {
+  ObservedTripleSet set;
+  set.add_path(std::vector<AsId>{1, 2});
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.path_valid(std::vector<AsId>{7, 8}));
+}
+
+TEST(ObservedTripleSetTest, PathValidRequiresEveryInteriorTriple) {
+  ObservedTripleSet set;
+  set.add_path(std::vector<AsId>{1, 2, 3});
+  set.add_path(std::vector<AsId>{2, 3, 4});
+  EXPECT_TRUE(set.path_valid(std::vector<AsId>{1, 2, 3, 4}));
+  // 3-4-5 never observed.
+  EXPECT_FALSE(set.path_valid(std::vector<AsId>{2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace lg::topo
