@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoid_problem_primitive.dir/avoid_problem_primitive.cc.o"
+  "CMakeFiles/avoid_problem_primitive.dir/avoid_problem_primitive.cc.o.d"
+  "avoid_problem_primitive"
+  "avoid_problem_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoid_problem_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for avoid_problem_primitive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for avoid_problem_primitive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_outage_durations.dir/fig1_outage_durations.cc.o"
+  "CMakeFiles/fig1_outage_durations.dir/fig1_outage_durations.cc.o.d"
+  "fig1_outage_durations"
+  "fig1_outage_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_outage_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

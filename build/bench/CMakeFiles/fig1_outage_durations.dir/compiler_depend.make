@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_outage_durations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_residual_duration.dir/fig5_residual_duration.cc.o"
+  "CMakeFiles/fig5_residual_duration.dir/fig5_residual_duration.cc.o.d"
+  "fig5_residual_duration"
+  "fig5_residual_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_residual_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

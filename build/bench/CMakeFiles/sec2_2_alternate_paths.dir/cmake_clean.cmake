@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_2_alternate_paths.dir/sec2_2_alternate_paths.cc.o"
+  "CMakeFiles/sec2_2_alternate_paths.dir/sec2_2_alternate_paths.cc.o.d"
+  "sec2_2_alternate_paths"
+  "sec2_2_alternate_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_2_alternate_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec2_2_alternate_paths.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_3_communities.dir/sec2_3_communities.cc.o"
+  "CMakeFiles/sec2_3_communities.dir/sec2_3_communities.cc.o.d"
+  "sec2_3_communities"
+  "sec2_3_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_3_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_1_efficacy.dir/sec5_1_efficacy.cc.o"
+  "CMakeFiles/sec5_1_efficacy.dir/sec5_1_efficacy.cc.o.d"
+  "sec5_1_efficacy"
+  "sec5_1_efficacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_1_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

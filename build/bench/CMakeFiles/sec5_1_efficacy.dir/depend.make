@@ -1,0 +1,2 @@
+# Empty dependencies file for sec5_1_efficacy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_2_loss.dir/sec5_2_loss.cc.o"
+  "CMakeFiles/sec5_2_loss.dir/sec5_2_loss.cc.o.d"
+  "sec5_2_loss"
+  "sec5_2_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_2_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

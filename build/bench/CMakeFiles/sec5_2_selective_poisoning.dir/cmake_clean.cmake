@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_2_selective_poisoning.dir/sec5_2_selective_poisoning.cc.o"
+  "CMakeFiles/sec5_2_selective_poisoning.dir/sec5_2_selective_poisoning.cc.o.d"
+  "sec5_2_selective_poisoning"
+  "sec5_2_selective_poisoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_2_selective_poisoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

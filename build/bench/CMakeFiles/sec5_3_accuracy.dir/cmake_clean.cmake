@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_3_accuracy.dir/sec5_3_accuracy.cc.o"
+  "CMakeFiles/sec5_3_accuracy.dir/sec5_3_accuracy.cc.o.d"
+  "sec5_3_accuracy"
+  "sec5_3_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_3_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

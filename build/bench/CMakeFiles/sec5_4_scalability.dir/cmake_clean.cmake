@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_4_scalability.dir/sec5_4_scalability.cc.o"
+  "CMakeFiles/sec5_4_scalability.dir/sec5_4_scalability.cc.o.d"
+  "sec5_4_scalability"
+  "sec5_4_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_4_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_1_anomalies.dir/sec7_1_anomalies.cc.o"
+  "CMakeFiles/sec7_1_anomalies.dir/sec7_1_anomalies.cc.o.d"
+  "sec7_1_anomalies"
+  "sec7_1_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_1_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

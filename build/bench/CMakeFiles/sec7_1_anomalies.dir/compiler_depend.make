@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec7_1_anomalies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_update_load.dir/table2_update_load.cc.o"
+  "CMakeFiles/table2_update_load.dir/table2_update_load.cc.o.d"
+  "table2_update_load"
+  "table2_update_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_update_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_poisoning.dir/selective_poisoning.cpp.o"
+  "CMakeFiles/selective_poisoning.dir/selective_poisoning.cpp.o.d"
+  "selective_poisoning"
+  "selective_poisoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_poisoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/collector.cc" "src/bgp/CMakeFiles/lg_bgp.dir/collector.cc.o" "gcc" "src/bgp/CMakeFiles/lg_bgp.dir/collector.cc.o.d"
+  "/root/repo/src/bgp/engine.cc" "src/bgp/CMakeFiles/lg_bgp.dir/engine.cc.o" "gcc" "src/bgp/CMakeFiles/lg_bgp.dir/engine.cc.o.d"
+  "/root/repo/src/bgp/speaker.cc" "src/bgp/CMakeFiles/lg_bgp.dir/speaker.cc.o" "gcc" "src/bgp/CMakeFiles/lg_bgp.dir/speaker.cc.o.d"
+  "/root/repo/src/bgp/types.cc" "src/bgp/CMakeFiles/lg_bgp.dir/types.cc.o" "gcc" "src/bgp/CMakeFiles/lg_bgp.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/lg_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

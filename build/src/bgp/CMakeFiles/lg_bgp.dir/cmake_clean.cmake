@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_bgp.dir/collector.cc.o"
+  "CMakeFiles/lg_bgp.dir/collector.cc.o.d"
+  "CMakeFiles/lg_bgp.dir/engine.cc.o"
+  "CMakeFiles/lg_bgp.dir/engine.cc.o.d"
+  "CMakeFiles/lg_bgp.dir/speaker.cc.o"
+  "CMakeFiles/lg_bgp.dir/speaker.cc.o.d"
+  "CMakeFiles/lg_bgp.dir/types.cc.o"
+  "CMakeFiles/lg_bgp.dir/types.cc.o.d"
+  "liblg_bgp.a"
+  "liblg_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_core.dir/atlas.cc.o"
+  "CMakeFiles/lg_core.dir/atlas.cc.o.d"
+  "CMakeFiles/lg_core.dir/decision.cc.o"
+  "CMakeFiles/lg_core.dir/decision.cc.o.d"
+  "CMakeFiles/lg_core.dir/isolation.cc.o"
+  "CMakeFiles/lg_core.dir/isolation.cc.o.d"
+  "CMakeFiles/lg_core.dir/lifeguard.cc.o"
+  "CMakeFiles/lg_core.dir/lifeguard.cc.o.d"
+  "CMakeFiles/lg_core.dir/remediation.cc.o"
+  "CMakeFiles/lg_core.dir/remediation.cc.o.d"
+  "liblg_core.a"
+  "liblg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/failures.cc" "src/dataplane/CMakeFiles/lg_dataplane.dir/failures.cc.o" "gcc" "src/dataplane/CMakeFiles/lg_dataplane.dir/failures.cc.o.d"
+  "/root/repo/src/dataplane/forwarding.cc" "src/dataplane/CMakeFiles/lg_dataplane.dir/forwarding.cc.o" "gcc" "src/dataplane/CMakeFiles/lg_dataplane.dir/forwarding.cc.o.d"
+  "/root/repo/src/dataplane/router_net.cc" "src/dataplane/CMakeFiles/lg_dataplane.dir/router_net.cc.o" "gcc" "src/dataplane/CMakeFiles/lg_dataplane.dir/router_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/lg_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/lg_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

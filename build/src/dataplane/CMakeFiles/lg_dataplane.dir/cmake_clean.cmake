@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_dataplane.dir/failures.cc.o"
+  "CMakeFiles/lg_dataplane.dir/failures.cc.o.d"
+  "CMakeFiles/lg_dataplane.dir/forwarding.cc.o"
+  "CMakeFiles/lg_dataplane.dir/forwarding.cc.o.d"
+  "CMakeFiles/lg_dataplane.dir/router_net.cc.o"
+  "CMakeFiles/lg_dataplane.dir/router_net.cc.o.d"
+  "liblg_dataplane.a"
+  "liblg_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_measure.dir/probes.cc.o"
+  "CMakeFiles/lg_measure.dir/probes.cc.o.d"
+  "CMakeFiles/lg_measure.dir/responsiveness.cc.o"
+  "CMakeFiles/lg_measure.dir/responsiveness.cc.o.d"
+  "liblg_measure.a"
+  "liblg_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/addressing.cc" "src/topology/CMakeFiles/lg_topology.dir/addressing.cc.o" "gcc" "src/topology/CMakeFiles/lg_topology.dir/addressing.cc.o.d"
+  "/root/repo/src/topology/as_graph.cc" "src/topology/CMakeFiles/lg_topology.dir/as_graph.cc.o" "gcc" "src/topology/CMakeFiles/lg_topology.dir/as_graph.cc.o.d"
+  "/root/repo/src/topology/generator.cc" "src/topology/CMakeFiles/lg_topology.dir/generator.cc.o" "gcc" "src/topology/CMakeFiles/lg_topology.dir/generator.cc.o.d"
+  "/root/repo/src/topology/io.cc" "src/topology/CMakeFiles/lg_topology.dir/io.cc.o" "gcc" "src/topology/CMakeFiles/lg_topology.dir/io.cc.o.d"
+  "/root/repo/src/topology/prefix.cc" "src/topology/CMakeFiles/lg_topology.dir/prefix.cc.o" "gcc" "src/topology/CMakeFiles/lg_topology.dir/prefix.cc.o.d"
+  "/root/repo/src/topology/valley_free.cc" "src/topology/CMakeFiles/lg_topology.dir/valley_free.cc.o" "gcc" "src/topology/CMakeFiles/lg_topology.dir/valley_free.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

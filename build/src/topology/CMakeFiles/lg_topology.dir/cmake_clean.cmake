@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_topology.dir/addressing.cc.o"
+  "CMakeFiles/lg_topology.dir/addressing.cc.o.d"
+  "CMakeFiles/lg_topology.dir/as_graph.cc.o"
+  "CMakeFiles/lg_topology.dir/as_graph.cc.o.d"
+  "CMakeFiles/lg_topology.dir/generator.cc.o"
+  "CMakeFiles/lg_topology.dir/generator.cc.o.d"
+  "CMakeFiles/lg_topology.dir/io.cc.o"
+  "CMakeFiles/lg_topology.dir/io.cc.o.d"
+  "CMakeFiles/lg_topology.dir/prefix.cc.o"
+  "CMakeFiles/lg_topology.dir/prefix.cc.o.d"
+  "CMakeFiles/lg_topology.dir/valley_free.cc.o"
+  "CMakeFiles/lg_topology.dir/valley_free.cc.o.d"
+  "liblg_topology.a"
+  "liblg_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

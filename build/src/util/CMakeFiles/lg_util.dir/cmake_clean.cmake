@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_util.dir/logging.cc.o"
+  "CMakeFiles/lg_util.dir/logging.cc.o.d"
+  "CMakeFiles/lg_util.dir/rng.cc.o"
+  "CMakeFiles/lg_util.dir/rng.cc.o.d"
+  "CMakeFiles/lg_util.dir/scheduler.cc.o"
+  "CMakeFiles/lg_util.dir/scheduler.cc.o.d"
+  "CMakeFiles/lg_util.dir/stats.cc.o"
+  "CMakeFiles/lg_util.dir/stats.cc.o.d"
+  "CMakeFiles/lg_util.dir/strings.cc.o"
+  "CMakeFiles/lg_util.dir/strings.cc.o.d"
+  "liblg_util.a"
+  "liblg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_workload.dir/load_model.cc.o"
+  "CMakeFiles/lg_workload.dir/load_model.cc.o.d"
+  "CMakeFiles/lg_workload.dir/outages.cc.o"
+  "CMakeFiles/lg_workload.dir/outages.cc.o.d"
+  "CMakeFiles/lg_workload.dir/poison_experiment.cc.o"
+  "CMakeFiles/lg_workload.dir/poison_experiment.cc.o.d"
+  "CMakeFiles/lg_workload.dir/scenarios.cc.o"
+  "CMakeFiles/lg_workload.dir/scenarios.cc.o.d"
+  "CMakeFiles/lg_workload.dir/sim_world.cc.o"
+  "CMakeFiles/lg_workload.dir/sim_world.cc.o.d"
+  "liblg_workload.a"
+  "liblg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_as_graph.dir/test_as_graph.cc.o"
+  "CMakeFiles/test_as_graph.dir/test_as_graph.cc.o.d"
+  "test_as_graph"
+  "test_as_graph.pdb"
+  "test_as_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_as_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

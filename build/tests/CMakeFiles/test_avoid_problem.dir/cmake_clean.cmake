@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_avoid_problem.dir/test_avoid_problem.cc.o"
+  "CMakeFiles/test_avoid_problem.dir/test_avoid_problem.cc.o.d"
+  "test_avoid_problem"
+  "test_avoid_problem.pdb"
+  "test_avoid_problem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_avoid_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_engine.dir/test_bgp_engine.cc.o"
+  "CMakeFiles/test_bgp_engine.dir/test_bgp_engine.cc.o.d"
+  "test_bgp_engine"
+  "test_bgp_engine.pdb"
+  "test_bgp_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_fig2.dir/test_bgp_fig2.cc.o"
+  "CMakeFiles/test_bgp_fig2.dir/test_bgp_fig2.cc.o.d"
+  "test_bgp_fig2"
+  "test_bgp_fig2.pdb"
+  "test_bgp_fig2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_fig2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

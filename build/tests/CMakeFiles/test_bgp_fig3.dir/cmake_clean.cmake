@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_fig3.dir/test_bgp_fig3.cc.o"
+  "CMakeFiles/test_bgp_fig3.dir/test_bgp_fig3.cc.o.d"
+  "test_bgp_fig3"
+  "test_bgp_fig3.pdb"
+  "test_bgp_fig3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_types.dir/test_bgp_types.cc.o"
+  "CMakeFiles/test_bgp_types.dir/test_bgp_types.cc.o.d"
+  "test_bgp_types"
+  "test_bgp_types.pdb"
+  "test_bgp_types[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_damping.dir/test_damping.cc.o"
+  "CMakeFiles/test_damping.dir/test_damping.cc.o.d"
+  "test_damping"
+  "test_damping.pdb"
+  "test_damping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

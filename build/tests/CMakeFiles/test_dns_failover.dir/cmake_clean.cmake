@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_failover.dir/test_dns_failover.cc.o"
+  "CMakeFiles/test_dns_failover.dir/test_dns_failover.cc.o.d"
+  "test_dns_failover"
+  "test_dns_failover.pdb"
+  "test_dns_failover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifeguard.dir/test_lifeguard.cc.o"
+  "CMakeFiles/test_lifeguard.dir/test_lifeguard.cc.o.d"
+  "test_lifeguard"
+  "test_lifeguard.pdb"
+  "test_lifeguard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifeguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lifeguard.
+# This may be replaced when dependencies are built.

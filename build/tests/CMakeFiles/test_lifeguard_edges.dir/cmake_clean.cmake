@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifeguard_edges.dir/test_lifeguard_edges.cc.o"
+  "CMakeFiles/test_lifeguard_edges.dir/test_lifeguard_edges.cc.o.d"
+  "test_lifeguard_edges"
+  "test_lifeguard_edges.pdb"
+  "test_lifeguard_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifeguard_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poison_experiment.dir/test_poison_experiment.cc.o"
+  "CMakeFiles/test_poison_experiment.dir/test_poison_experiment.cc.o.d"
+  "test_poison_experiment"
+  "test_poison_experiment.pdb"
+  "test_poison_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poison_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
