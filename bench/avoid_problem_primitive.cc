@@ -30,6 +30,8 @@ struct EventStats {
 int main() {
   bench::header("AVOID_PROBLEM primitive vs BGP poisoning",
                 "What the paper's proposed primitive would buy (§3, §9)");
+  bench::JsonReport jr("avoid_problem_primitive");
+  jr->set_config("max_problem_events", 20.0);
 
   workload::SimWorld world;
   AsId origin = topo::kInvalidAs;
@@ -132,6 +134,14 @@ int main() {
               "border routers log the poison",
               primitive_stats.notified == primitive_stats.events ? "always"
                                                                  : "sometimes");
+
+  jr->headline("events", static_cast<double>(poison_stats.events));
+  jr->headline("ases_moved_poisoning", poison_stats.moved.mean());
+  jr->headline("ases_moved_primitive", primitive_stats.moved.mean());
+  jr->headline("ases_cut_off_poisoning", poison_stats.cut_off.mean());
+  jr->headline("ases_cut_off_primitive", primitive_stats.cut_off.mean());
+  jr->headline("messages_per_event_poisoning", poison_stats.messages.mean());
+  jr->headline("messages_per_event_primitive", primitive_stats.messages.mean());
 
   bench::section("Reading");
   std::printf(

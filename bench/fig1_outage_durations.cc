@@ -14,6 +14,8 @@ int main() {
   bench::header("Figure 1",
                 "Outage durations vs their contribution to unavailability "
                 "(EC2-calibrated synthetic study, n=10,308)");
+  bench::JsonReport jr("fig1_outage_durations");
+  jr->set_config("num_outages", 10308.0);
 
   const auto study = workload::generate_outage_study(10308);
 
@@ -37,5 +39,10 @@ int main() {
                      util::fixed(study.median(), 0) + " s");
   bench::compare_row("total outages analyzed", "10,308",
                      std::to_string(study.count()));
+
+  jr->headline("frac_outages_leq_10min", study.cdf(600.0));
+  jr->headline("frac_unavailability_gt_10min", study.mass_fraction_above(600.0));
+  jr->headline("median_outage_seconds", study.median());
+  jr->headline("outages_analyzed", static_cast<double>(study.count()));
   return 0;
 }

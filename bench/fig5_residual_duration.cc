@@ -13,6 +13,8 @@ int main() {
   using namespace lg;
   bench::header("Figure 5",
                 "Residual outage duration (minutes) given elapsed time");
+  bench::JsonReport jr("fig5_residual_duration");
+  jr->set_config("num_outages", 10308.0);
 
   const auto study = workload::generate_outage_study(10308);
 
@@ -47,5 +49,10 @@ int main() {
   bench::compare_row(
       "unavailability avoidable acting at 5 min + 2 min converge", "up to 80%",
       util::pct(addressable));
+
+  jr->headline("frac_persisting_geq_5min", n5 / n);
+  jr->headline("frac_5min_lasting_5_more", n10 / n5);
+  jr->headline("frac_10min_lasting_5_more", n15 / n10);
+  jr->headline("addressable_unavailability", addressable);
   return 0;
 }

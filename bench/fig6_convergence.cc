@@ -96,6 +96,10 @@ void print_series(const char* name, const Series& s) {
 int main() {
   bench::header("Figure 6 / Table 1 'Disruptiveness'",
                 "Peer convergence time after poisoned announcements");
+  bench::JsonReport jr("fig6_convergence");
+  jr->set_config("seed", 42.0);
+  jr->set_config("poisonings_per_run", 30.0);
+  jr->set_config("feed_ases", 40.0);
 
   const auto prep = run(3, 42);
   const auto noprep = run(1, 42);
@@ -148,6 +152,25 @@ int main() {
                      util::fixed(noprep.global_convergence.quantile(0.5), 0) + " s");
   bench::compare_row("90th pct (no prepend)", "226 s",
                      util::fixed(noprep.global_convergence.quantile(0.9), 0) + " s");
+
+  jr->headline("global_convergence_p50_prepend_s",
+               prep.global_convergence.quantile(0.5));
+  jr->headline("global_convergence_p90_prepend_s",
+               prep.global_convergence.quantile(0.9));
+  jr->headline("global_convergence_p50_noprepend_s",
+               noprep.global_convergence.quantile(0.5));
+  jr->headline("global_convergence_p90_noprepend_s",
+               noprep.global_convergence.quantile(0.9));
+  if (prep.unchanged.peers) {
+    jr->headline("unaffected_instant_frac_prepend",
+                 static_cast<double>(prep.unchanged.instant) /
+                     static_cast<double>(prep.unchanged.peers));
+  }
+  if (noprep.unchanged.peers) {
+    jr->headline("unaffected_instant_frac_noprepend",
+                 static_cast<double>(noprep.unchanged.instant) /
+                     static_cast<double>(noprep.unchanged.peers));
+  }
 
   // Ablation: MRAI drives the convergence timescale (DESIGN.md decision 1).
   // Path exploration without prepending is paced by the per-session

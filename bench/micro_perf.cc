@@ -1,9 +1,21 @@
 // Microbenchmarks (google-benchmark) for the substrate hot paths: BGP
 // origination+convergence, FIB lookups, data-plane forwarding, valley-free
 // reachability queries, probe execution, and the RNG/stats plumbing.
+//
+// A custom reporter captures per-benchmark wall-clock timings and writes
+// them into BENCH_micro_perf.json, making this harness the perf baseline
+// that later PRs diff against. Run with LG_METRICS=off to measure the cost
+// of the disabled-instrumentation branch.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/remediation.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "topology/valley_free.h"
 #include "workload/outages.h"
 #include "workload/sim_world.h"
@@ -130,6 +142,70 @@ void BM_OutageStudyGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_OutageStudyGeneration);
 
+// Console output as usual, plus a captured copy of every per-iteration run
+// so main() can serialize the timings into the JSON run report.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double real_ns_per_iter = 0.0;
+    double cpu_ns_per_iter = 0.0;
+    std::uint64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      captured_.push_back(Captured{
+          run.benchmark_name(),
+          run.real_accumulated_time / iters * 1e9,
+          run.cpu_accumulated_time / iters * 1e9,
+          static_cast<std::uint64_t>(run.iterations),
+      });
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.set_enabled(true);
+  registry.configure_from_env();  // LG_METRICS=off measures the opt-out cost
+  registry.reset();
+  // Tracing stays off: per-message ring writes would skew the hot loops.
+  obs::TraceRing::global().set_enabled(false);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  obs::RunReport report("micro_perf");
+  report.set_config("metrics_enabled", registry.enabled());
+  report.set_config("tracing_enabled", false);
+  for (const auto& run : reporter.captured()) {
+    report.headline(run.name + ".real_ns_per_iter", run.real_ns_per_iter);
+    report.headline(run.name + ".cpu_ns_per_iter", run.cpu_ns_per_iter);
+    report.headline(run.name + ".iterations",
+                    static_cast<double>(run.iterations));
+  }
+  report.capture_metrics();
+  const std::string path = report.default_path();
+  if (report.write_file(path)) {
+    std::printf("\nJSON report: %s\n", path.c_str());
+  } else {
+    std::printf("\nJSON report: FAILED to write %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -81,6 +81,9 @@ int main() {
   bench::header("Section 2.2",
                 "Policy-compliant alternate paths during partial outages, "
                 "found by splicing observed traceroutes");
+  bench::JsonReport jr("sec2_2_alternate_paths");
+  jr->set_config("vantage_points", 40.0);
+  jr->set_config("max_outages", 300.0);
 
   workload::SimWorld world;
   const auto vps = world.stub_vantage_ases(40);
@@ -175,5 +178,20 @@ int main() {
   // alternate persists by construction; the paper measured 98%.
   bench::compare_row("first-round alternates persisting", "98%", "100.0%",
                      "(static policies between rounds)");
+
+  jr->headline("outages", static_cast<double>(outages));
+  if (outages) {
+    jr->headline("frac_with_spliced_alternate",
+                 static_cast<double>(with_alternate) /
+                     static_cast<double>(outages));
+    jr->headline("frac_with_oracle_alternate",
+                 static_cast<double>(oracle_alternates) /
+                     static_cast<double>(outages));
+  }
+  if (long_outages) {
+    jr->headline("frac_long_outages_with_alternate",
+                 static_cast<double>(long_with_alternate) /
+                     static_cast<double>(long_outages));
+  }
   return 0;
 }

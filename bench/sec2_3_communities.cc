@@ -59,6 +59,8 @@ Visibility measure_visibility(workload::SimWorld& world, AsId origin,
 int main() {
   bench::header("Section 2.3 'BGP communities'",
                 "Do community-tagged announcements reach arbitrary ASes?");
+  bench::JsonReport jr("sec2_3_communities");
+  jr->set_config("transit_strip_fraction", 1.0 / 3.0);
 
   workload::SimWorld world;
   const AsId origin = world.topology().stubs.front();
@@ -112,6 +114,22 @@ int main() {
                       static_cast<double>(real.via_tier1))
           : "n/a");
   bench::kv("ASes routing via a tier-1", std::to_string(real.via_tier1));
+
+  if (clean.with_route) {
+    jr->headline("frac_tagged_no_stripping",
+                 static_cast<double>(clean.with_community) /
+                     static_cast<double>(clean.with_route));
+  }
+  if (real.with_route) {
+    jr->headline("frac_tagged_with_stripping",
+                 static_cast<double>(real.with_community) /
+                     static_cast<double>(real.with_route));
+  }
+  if (real.via_tier1) {
+    jr->headline("frac_via_tier1_keeping_tag",
+                 static_cast<double>(real.via_tier1_with_community) /
+                     static_cast<double>(real.via_tier1));
+  }
 
   bench::section("Conclusion (as in the paper)");
   std::printf(

@@ -25,6 +25,10 @@ using topo::AsId;
 int main() {
   bench::header("Section 5.1 / Table 1 'Effectiveness'",
                 "Do ASes find routes around a poisoned AS?");
+  bench::JsonReport jr("sec5_1_efficacy");
+  jr->set_config("deployment_poisons", 40.0);
+  jr->set_config("sim_target_cases", 50000.0);
+  jr->set_config("isolated_failure_cases", 3000.0);
 
   // ---------------- (a) deployment-style poisoning ----------------
   workload::SimWorld world;
@@ -198,5 +202,20 @@ int main() {
   bench::compare_row("isolated failures with alternate paths", "94%",
                      util::pct(static_cast<double>(fail_alt) /
                                static_cast<double>(fail_cases)));
+
+  if (cases_using) {
+    jr->headline("frac_peers_found_alternate",
+                 static_cast<double>(found_alternate) /
+                     static_cast<double>(cases_using));
+  }
+  jr->headline("frac_sim_cases_with_alternate",
+               static_cast<double>(sim_alt) / static_cast<double>(sim_cases));
+  if (compared) {
+    jr->headline("sim_vs_actual_agreement",
+                 static_cast<double>(agree) / static_cast<double>(compared));
+  }
+  jr->headline("frac_isolated_failures_with_alternate",
+               static_cast<double>(fail_alt) /
+                   static_cast<double>(fail_cases));
   return 0;
 }

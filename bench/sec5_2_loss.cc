@@ -96,12 +96,32 @@ int main() {
   bench::header("Section 5.2 'How much loss accompanies convergence?'",
                 "Ping loss from 40 vantage points during poisoning "
                 "convergence, 10 s bins");
+  bench::JsonReport jr("sec5_2_loss");
+  jr->set_config("loss_vantage_points", 40.0);
+  jr->set_config("max_poisonings_per_run", 15.0);
 
   const auto prep = run(3);
   report("Prepended baseline O-O-O (the paper's configuration)", prep, true);
 
   const auto noprep = run(1);
   report("Ablation: unprepended baseline O", noprep, false);
+
+  jr->headline("poisonings_prepend", static_cast<double>(prep.poisons));
+  if (prep.poisons) {
+    jr->headline("frac_loss_under_1pct_prepend",
+                 static_cast<double>(prep.under_1pct) /
+                     static_cast<double>(prep.poisons));
+    jr->headline("frac_loss_under_2pct_prepend",
+                 static_cast<double>(prep.under_2pct) /
+                     static_cast<double>(prep.poisons));
+    jr->headline("median_loss_prepend", prep.loss_rates.quantile(0.5));
+  }
+  if (noprep.poisons) {
+    jr->headline("frac_loss_under_1pct_noprepend",
+                 static_cast<double>(noprep.under_1pct) /
+                     static_cast<double>(noprep.poisons));
+    jr->headline("median_loss_noprepend", noprep.loss_rates.quantile(0.5));
+  }
 
   bench::section("Interpretation");
   std::printf(

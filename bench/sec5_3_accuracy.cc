@@ -30,6 +30,9 @@ struct Score {
 int main() {
   bench::header("Section 5.3 / Table 1 'Accuracy'",
                 "Failure isolation vs ground truth and vs traceroute-only");
+  bench::JsonReport jr("sec5_3_accuracy");
+  jr->set_config("vantage_points", 12.0);
+  jr->set_config("failures_per_direction", 61.0);
 
   workload::SimWorld world;
   const auto vp_ases = world.stub_vantage_ases(12);
@@ -133,6 +136,19 @@ int main() {
     bench::kv("...and when differing, traceroute-only was wrong",
               util::pct(static_cast<double>(total.traceroute_would_be_wrong) /
                         static_cast<double>(total.traceroute_differs)));
+  }
+
+  jr->headline("failures_tested", static_cast<double>(total.tested));
+  if (total.tested) {
+    jr->headline("frac_blame_correct",
+                 static_cast<double>(total.blame_correct) /
+                     static_cast<double>(total.tested));
+    jr->headline("frac_direction_correct",
+                 static_cast<double>(total.direction_correct) /
+                     static_cast<double>(total.tested));
+    jr->headline("frac_traceroute_differs",
+                 static_cast<double>(total.traceroute_differs) /
+                     static_cast<double>(total.tested));
   }
   return 0;
 }

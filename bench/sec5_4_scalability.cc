@@ -19,6 +19,9 @@ using topo::AsId;
 int main() {
   bench::header("Section 5.4 / Table 1 'Scalability'",
                 "Probe and latency cost of isolation and atlas refresh");
+  bench::JsonReport jr("sec5_4_scalability");
+  jr->set_config("vantage_points", 12.0);
+  jr->set_config("max_isolations", 40.0);
 
   workload::SimWorld world;
   const auto vp_ases = world.stub_vantage_ases(12);
@@ -102,5 +105,10 @@ int main() {
   bench::kv("isolation latency min/max",
             util::fixed(seconds_per_outage.min(), 0) + " s / " +
                 util::fixed(seconds_per_outage.max(), 0) + " s");
+
+  jr->headline("amortized_option_probes_per_reverse_path", per_path_options);
+  jr->headline("total_probes_per_refreshed_path", per_path_total);
+  jr->headline("probes_per_isolated_outage", probes_per_outage.mean());
+  jr->headline("isolation_latency_mean_s", seconds_per_outage.mean());
   return 0;
 }

@@ -39,6 +39,9 @@ double alternate_fraction(workload::PoisonExperiment& experiment,
 
 int main() {
   bench::header("Section 7.1", "Poisoning anomalies and their workarounds");
+  bench::JsonReport jr("sec7_1_anomalies");
+  jr->set_config("feed_ases", 30.0);
+  jr->set_config("filter_measurements", 8.0);
 
   workload::SimWorld world;
   AsId origin = topo::kInvalidAs;
@@ -150,5 +153,18 @@ int main() {
                      captives ? util::pct(static_cast<double>(captives_with_backup) /
                                           static_cast<double>(captives))
                               : "n/a");
+
+  jr->headline("single_poison_ignored", single_poison_ignored ? 1.0 : 0.0);
+  jr->headline("double_poison_works", double_poison_works ? 1.0 : 0.0);
+  if (measured > 0) {
+    jr->headline("frac_alternates_no_filter", unfiltered_sum / measured);
+    jr->headline("frac_alternates_with_filter", filtered_sum / measured);
+  }
+  jr->headline("captive_ases", static_cast<double>(captives));
+  if (captives) {
+    jr->headline("frac_captives_with_backup",
+                 static_cast<double>(captives_with_backup) /
+                     static_cast<double>(captives));
+  }
   return 0;
 }

@@ -19,6 +19,9 @@ using topo::AsId;
 int main() {
   bench::header("Table 2",
                 "Daily path changes per router from poisoning at scale");
+  bench::JsonReport jr("table2_update_load");
+  jr->set_config("poisons_measured", 10.0);
+  jr->set_config("feed_ases", 20.0);
 
   // ---------------- measure U from real poisonings ----------------
   workload::SimWorld world;
@@ -95,5 +98,10 @@ int main() {
       "overhead at I=0.5, T=1, d=5 on a tier-1 router", "12-15%",
       util::pct(tier1_large / workload::kTier1RouterDailyUpdatesLow) + "-" +
           util::pct(tier1_large / workload::kTier1RouterDailyUpdatesHigh));
+
+  jr->headline("u_routing_via", u_via.mean());
+  jr->headline("u_not_routing_via", u_not_via.mean());
+  jr->headline("daily_changes_i05_t1_d5", big_deploy);
+  jr->headline("daily_changes_i001_t1_d5", small_deploy);
   return 0;
 }

@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lg::bgp {
 
 BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
                      EngineConfig cfg)
     : graph_(&graph), sched_(&sched), cfg_(cfg), rng_(cfg.seed, 0x62677065ULL) {
+  auto& reg = obs::MetricsRegistry::global();
+  c_updates_sent_ = &reg.counter("lg.bgp.updates_sent");
+  c_announces_sent_ = &reg.counter("lg.bgp.announces_sent");
+  c_withdrawals_sent_ = &reg.counter("lg.bgp.withdrawals_sent");
+  c_updates_delivered_ = &reg.counter("lg.bgp.updates_delivered");
+  c_mrai_deferrals_ = &reg.counter("lg.bgp.mrai_deferrals");
+  c_best_path_changes_ = &reg.counter("lg.bgp.best_path_changes");
+  trace_ = &obs::TraceRing::global();
   for (const AsId id : graph.as_ids()) {
     speakers_.emplace(id, BgpSpeaker(id, graph, SpeakerConfig{}));
   }
@@ -69,6 +80,9 @@ void BgpEngine::try_send(AsId from, AsId to, const Prefix& prefix) {
   }
   if (!mrai.flush_scheduled) {
     mrai.flush_scheduled = true;
+    c_mrai_deferrals_->inc();
+    trace_->record(now, obs::TraceKind::kMraiDefer, from, to,
+                   mrai.ready_at - now);
     sched_->at(mrai.ready_at, [this, from, to, prefix] {
       const SessionPrefixKey k{(static_cast<std::uint64_t>(from) << 32) | to,
                                prefix};
@@ -109,16 +123,28 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
 
   ++total_messages_;
   ++sent_by_[from];
+  c_updates_sent_->inc();
+  if (msg.type == MsgType::kAnnounce) {
+    c_announces_sent_->inc();
+    trace_->record(sched_->now(), obs::TraceKind::kUpdateSent, from, to);
+  } else {
+    c_withdrawals_sent_->inc();
+    trace_->record(sched_->now(), obs::TraceKind::kWithdrawSent, from, to);
+  }
   sched_->after(link_delay(), [this, msg] { deliver(msg); });
 }
 
 void BgpEngine::deliver(const UpdateMessage& msg) {
   const double now = sched_->now();
   last_activity_ = now;
+  c_updates_delivered_->inc();
+  trace_->record(now, obs::TraceKind::kUpdateDelivered, msg.from, msg.to);
   BgpSpeaker& receiver = speaker(msg.to);
   const bool best_changed = receiver.process_update(msg, now);
   if (best_changed) {
     ++best_changes_[msg.to];
+    c_best_path_changes_->inc();
+    trace_->record(now, obs::TraceKind::kBestPathChange, msg.to);
     notify(msg.to, msg.prefix);
     schedule_exports(msg.to, msg.prefix);
   }
@@ -134,6 +160,8 @@ void BgpEngine::deliver(const UpdateMessage& msg) {
         BgpSpeaker& spk = speaker(to);
         if (spk.recheck_damping(prefix, from, sched_->now())) {
           ++best_changes_[to];
+          c_best_path_changes_->inc();
+          trace_->record(sched_->now(), obs::TraceKind::kBestPathChange, to);
           notify(to, prefix);
           schedule_exports(to, prefix);
         }

@@ -19,6 +19,11 @@
 #include "util/rng.h"
 #include "util/scheduler.h"
 
+namespace lg::obs {
+class Counter;
+class TraceRing;
+}  // namespace lg::obs
+
 namespace lg::bgp {
 
 struct EngineConfig {
@@ -126,6 +131,16 @@ class BgpEngine {
   double last_activity_ = 0.0;
   std::unordered_map<AsId, std::uint64_t> sent_by_;
   std::unordered_map<AsId, std::uint64_t> best_changes_;
+
+  // Observability handles, resolved once against the global registry so the
+  // per-message cost is a branch plus an add (see obs/metrics.h).
+  obs::Counter* c_updates_sent_;
+  obs::Counter* c_announces_sent_;
+  obs::Counter* c_withdrawals_sent_;
+  obs::Counter* c_updates_delivered_;
+  obs::Counter* c_mrai_deferrals_;
+  obs::Counter* c_best_path_changes_;
+  obs::TraceRing* trace_;
 };
 
 }  // namespace lg::bgp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace lg::core {
@@ -31,7 +33,34 @@ Lifeguard::Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
       isolation_(prober, atlas_, cfg.isolation),
       decider_(engine.graph(), cfg.decision),
       remediator_(engine, origin, cfg.remediation),
-      sentinel_(prober, origin) {}
+      sentinel_(prober, origin) {
+  auto& reg = obs::MetricsRegistry::global();
+  c_outages_detected_ = &reg.counter("lg.lifeguard.outages_detected");
+  c_isolations_forward_ = &reg.counter("lg.lifeguard.isolations_forward");
+  c_isolations_reverse_ = &reg.counter("lg.lifeguard.isolations_reverse");
+  c_isolations_bidirectional_ =
+      &reg.counter("lg.lifeguard.isolations_bidirectional");
+  c_isolations_inconclusive_ =
+      &reg.counter("lg.lifeguard.isolations_inconclusive");
+  c_resolved_without_action_ =
+      &reg.counter("lg.lifeguard.resolved_without_action");
+  c_declined_ = &reg.counter("lg.lifeguard.remediations_declined");
+  c_poisons_ = &reg.counter("lg.lifeguard.poisons_applied");
+  c_selective_poisons_ = &reg.counter("lg.lifeguard.selective_poisons_applied");
+  c_egress_shifts_ = &reg.counter("lg.lifeguard.egress_shifts_applied");
+  c_repairs_completed_ = &reg.counter("lg.lifeguard.repairs_completed");
+  d_time_to_repair_ = &reg.distribution("lg.lifeguard.time_to_repair");
+  d_time_to_remediate_ = &reg.distribution("lg.lifeguard.time_to_remediate");
+  trace_ = &obs::TraceRing::global();
+}
+
+void Lifeguard::set_state(TargetCtx& target, TargetState state) {
+  if (target.state != state) {
+    trace_->record(sched_->now(), obs::TraceKind::kTargetStateChange,
+                   target.addr, static_cast<std::uint64_t>(state));
+  }
+  target.state = state;
+}
 
 void Lifeguard::add_target(topo::Ipv4 addr) {
   TargetCtx ctx;
@@ -92,6 +121,8 @@ void Lifeguard::on_threshold(TargetCtx& target) {
   const double now = sched_->now();
   LG_INFO << "outage detected to " << topo::format_ipv4(target.addr)
           << " (AS " << target.as << "), isolating";
+  c_outages_detected_->inc();
+  trace_->record(now, obs::TraceKind::kOutageDetected, target.addr, target.as);
   OutageRecord record;
   record.target = target.addr;
   record.target_as = target.as;
@@ -99,8 +130,22 @@ void Lifeguard::on_threshold(TargetCtx& target) {
   record.detected_at = now;
   record.isolation = isolation_.isolate(vp_, target.addr, helpers_);
   record.isolated_at = now + record.isolation.modeled_seconds;
+  switch (record.isolation.direction) {
+    case FailureDirection::kForward:
+      c_isolations_forward_->inc();
+      break;
+    case FailureDirection::kReverse:
+      c_isolations_reverse_->inc();
+      break;
+    case FailureDirection::kBidirectional:
+      c_isolations_bidirectional_->inc();
+      break;
+    case FailureDirection::kNone:
+      c_isolations_inconclusive_->inc();
+      break;
+  }
 
-  target.state = TargetState::kIsolating;
+  set_state(target, TargetState::kIsolating);
   target.open_record = records_.size();
   records_.push_back(std::move(record));
 
@@ -119,7 +164,8 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
   if (prober_->ping(vp_.as, addr, vp_.addr).replied) {
     record.resolved_without_action = true;
     record.note = "resolved before remediation";
-    target->state = TargetState::kMonitoring;
+    c_resolved_without_action_->inc();
+    set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
     return;
@@ -127,7 +173,8 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
 
   if (record.isolation.target_reachable || !record.isolation.blamed_as) {
     record.note = "isolation produced no target to act on";
-    target->state = TargetState::kMonitoring;
+    c_declined_->inc();
+    set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
     return;
@@ -142,13 +189,14 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
   if (!record.verdict.poison) {
     if (elapsed < cfg_.decision.min_elapsed_seconds) {
       // Not old enough yet: hold and re-decide once it is.
-      target->state = TargetState::kAwaitingAge;
+      set_state(*target, TargetState::kAwaitingAge);
       sched_->at(record.began_at + cfg_.decision.min_elapsed_seconds + 1.0,
                  [this, addr] { decision_point(addr); });
       return;
     }
     record.note = "declined: " + record.verdict.reason;
-    target->state = TargetState::kMonitoring;
+    c_declined_->inc();
+    set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
     return;
@@ -156,7 +204,8 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
 
   if (active_record_.has_value()) {
     record.note = "another remediation in flight; standing down";
-    target->state = TargetState::kMonitoring;
+    c_declined_->inc();
+    set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
     return;
@@ -210,13 +259,16 @@ void Lifeguard::apply_remediation(TargetCtx& target, OutageRecord& record) {
     }
     if (!alternative) {
       record.note = "no alternate egress avoids the blamed AS";
-      target.state = TargetState::kMonitoring;
+      c_declined_->inc();
+      set_state(target, TargetState::kMonitoring);
       target.consecutive_failures = 0;
       target.open_record = SIZE_MAX;
       return;
     }
     engine_->speaker(origin_).set_forced_egress(alternative);
     record.action = RepairAction::kEgressShift;
+    c_egress_shifts_->inc();
+    trace_->record(now, obs::TraceKind::kEgressShifted, blamed, record.target);
   } else if (const auto providers_for_selective =
                  selective_poison_plan(blamed, record.isolation.blamed_link,
                                        record.target_as);
@@ -225,12 +277,18 @@ void Lifeguard::apply_remediation(TargetCtx& target, OutageRecord& record) {
     // off the failing link without cutting it off (Fig. 3).
     remediator_.selective_poison(blamed, *providers_for_selective);
     record.action = RepairAction::kSelectivePoison;
+    c_selective_poisons_->inc();
+    trace_->record(now, obs::TraceKind::kSelectivePoisonApplied, blamed,
+                   record.target);
   } else {
     remediator_.poison(blamed);
     record.action = RepairAction::kPoison;
+    c_poisons_->inc();
+    trace_->record(now, obs::TraceKind::kPoisonApplied, blamed, record.target);
   }
   record.remediated_at = now;
-  target.state = TargetState::kRemediated;
+  d_time_to_remediate_->observe(now - record.detected_at);
+  set_state(target, TargetState::kRemediated);
   active_record_ = target.open_record;
   LG_INFO << "remediation applied (" << repair_action_name(record.action)
           << " of AS " << blamed << ") for "
@@ -262,6 +320,8 @@ void Lifeguard::sentinel_round(topo::Ipv4 addr) {
 
   if (repaired) {
     record.repaired_at = sched_->now();
+    trace_->record(record.repaired_at, obs::TraceKind::kRepairObserved,
+                   record.target);
     revert(*target, record);
     return;
   }
@@ -278,7 +338,13 @@ void Lifeguard::revert(TargetCtx& target, OutageRecord& record) {
   record.reverted_at = sched_->now();
   LG_INFO << "original path healed; reverted to baseline for "
           << topo::format_ipv4(record.target);
-  target.state = TargetState::kMonitoring;
+  c_repairs_completed_->inc();
+  // Time the victim spent unreachable once LIFEGUARD noticed: detection to
+  // the repaired original path (the paper's headline repair latency).
+  d_time_to_repair_->observe(record.repaired_at - record.detected_at);
+  trace_->record(record.reverted_at, obs::TraceKind::kRepairReverted,
+                 record.target);
+  set_state(target, TargetState::kMonitoring);
   target.consecutive_failures = 0;
   target.open_record = SIZE_MAX;
   active_record_.reset();

@@ -29,6 +29,12 @@
 #include "measure/vantage.h"
 #include "util/scheduler.h"
 
+namespace lg::obs {
+class Counter;
+class Distribution;
+class TraceRing;
+}  // namespace lg::obs
+
 namespace lg::core {
 
 struct LifeguardConfig {
@@ -102,6 +108,7 @@ class Lifeguard {
 
   void ping_round();
   void atlas_round();
+  void set_state(TargetCtx& target, TargetState state);
   void on_threshold(TargetCtx& target);
   void decision_point(topo::Ipv4 addr);
   void sentinel_round(topo::Ipv4 addr);
@@ -134,6 +141,22 @@ class Lifeguard {
   // the deployment poisons one prefix per problem).
   std::optional<std::size_t> active_record_;
   bool started_ = false;
+
+  // Observability handles, resolved once at construction (see obs/metrics.h).
+  obs::Counter* c_outages_detected_;
+  obs::Counter* c_isolations_forward_;
+  obs::Counter* c_isolations_reverse_;
+  obs::Counter* c_isolations_bidirectional_;
+  obs::Counter* c_isolations_inconclusive_;
+  obs::Counter* c_resolved_without_action_;
+  obs::Counter* c_declined_;
+  obs::Counter* c_poisons_;
+  obs::Counter* c_selective_poisons_;
+  obs::Counter* c_egress_shifts_;
+  obs::Counter* c_repairs_completed_;
+  obs::Distribution* d_time_to_repair_;
+  obs::Distribution* d_time_to_remediate_;
+  obs::TraceRing* trace_;
 };
 
 }  // namespace lg::core

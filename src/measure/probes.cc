@@ -1,6 +1,35 @@
 #include "measure/probes.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace lg::measure {
+
+Prober::Prober(const dp::DataPlane& dataplane, Responsiveness& responsiveness)
+    : dp_(&dataplane), resp_(&responsiveness) {
+  auto& reg = obs::MetricsRegistry::global();
+  c_pings_ = &reg.counter("lg.measure.pings");
+  c_spoofed_pings_ = &reg.counter("lg.measure.spoofed_pings");
+  c_traceroute_probes_ = &reg.counter("lg.measure.traceroute_probes");
+  c_spoofed_traceroute_probes_ =
+      &reg.counter("lg.measure.spoofed_traceroute_probes");
+  c_option_probes_ = &reg.counter("lg.measure.option_probes");
+  c_replies_ = &reg.counter("lg.measure.probe_replies");
+  c_losses_ = &reg.counter("lg.measure.probe_losses");
+  trace_ = &obs::TraceRing::global();
+}
+
+// Responsiveness verdict bookkeeping shared by every ping flavour.
+void Prober::trace_ping_outcome(AsId src_as, Ipv4 dst,
+                                const PingResult& result) {
+  if (result.replied) {
+    c_replies_->inc();
+    trace_->record(sim_now(), obs::TraceKind::kProbeAnswered, src_as, dst);
+  } else {
+    c_losses_->inc();
+    trace_->record(sim_now(), obs::TraceKind::kProbeLost, src_as, dst);
+  }
+}
 
 std::optional<RouterId> TracerouteResult::last_responsive() const {
   for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
@@ -59,18 +88,30 @@ PingResult Prober::ping_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
 
 PingResult Prober::ping(AsId src_as, Ipv4 dst, Ipv4 reply_to) {
   ++budget_.pings;
-  return ping_impl(src_as, dst, reply_to);
+  c_pings_->inc();
+  trace_->record(sim_now(), obs::TraceKind::kProbeIssued, src_as, dst);
+  const PingResult result = ping_impl(src_as, dst, reply_to);
+  trace_ping_outcome(src_as, dst, result);
+  return result;
 }
 
 PingResult Prober::spoofed_ping(AsId src_as, Ipv4 dst, Ipv4 receiver_addr) {
   ++budget_.spoofed_pings;
-  return ping_impl(src_as, dst, receiver_addr);
+  c_spoofed_pings_->inc();
+  trace_->record(sim_now(), obs::TraceKind::kProbeIssued, src_as, dst);
+  const PingResult result = ping_impl(src_as, dst, receiver_addr);
+  trace_ping_outcome(src_as, dst, result);
+  return result;
 }
 
 PingResult Prober::ping_via(AsId src_as, AsId first_hop, Ipv4 dst,
                             Ipv4 reply_to) {
   ++budget_.pings;
-  return ping_impl(src_as, dst, reply_to, first_hop);
+  c_pings_->inc();
+  trace_->record(sim_now(), obs::TraceKind::kProbeIssued, src_as, dst);
+  const PingResult result = ping_impl(src_as, dst, reply_to, first_hop);
+  trace_ping_outcome(src_as, dst, result);
+  return result;
 }
 
 TracerouteResult Prober::traceroute_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
@@ -88,6 +129,7 @@ TracerouteResult Prober::traceroute_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
     auto& counter =
         spoofed ? budget_.spoofed_traceroute_probes : budget_.traceroute_probes;
     ++counter;
+    (spoofed ? c_spoofed_traceroute_probes_ : c_traceroute_probes_)->inc();
     const bool answers = resp_->router_responds(hop) && !resp_->rate_limited();
     if (!answers) {
       result.hops.push_back(std::nullopt);
@@ -131,6 +173,8 @@ std::optional<dp::ForwardResult> Prober::reverse_traceroute(Ipv4 from,
   // forward traceroutes per refreshed reverse path.
   budget_.option_probes += 10;
   budget_.traceroute_probes += 2;
+  c_option_probes_->inc(10);
+  c_traceroute_probes_->inc(2);
 
   const auto owner = topo::AddressPlan::owner_of(from);
   if (!owner) return std::nullopt;

@@ -25,6 +25,12 @@
 #include "dataplane/forwarding.h"
 #include "measure/responsiveness.h"
 #include "util/rng.h"
+#include "util/scheduler.h"
+
+namespace lg::obs {
+class Counter;
+class TraceRing;
+}  // namespace lg::obs
 
 namespace lg::measure {
 
@@ -75,8 +81,11 @@ struct TracerouteResult {
 
 class Prober {
  public:
-  Prober(const dp::DataPlane& dataplane, Responsiveness& responsiveness)
-      : dp_(&dataplane), resp_(&responsiveness) {}
+  Prober(const dp::DataPlane& dataplane, Responsiveness& responsiveness);
+
+  // Attach the simulation clock so probe trace events carry simulated
+  // timestamps (probes themselves are instantaneous in the model).
+  void attach_clock(const util::Scheduler& sched) { clock_ = &sched; }
 
   // Echo request from inside `src_as` to `dst`; reply addressed to
   // `reply_to` (normally an address inside src_as; a *spoofed* probe passes
@@ -113,9 +122,23 @@ class Prober {
   TracerouteResult traceroute_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
                                    bool spoofed);
 
+  double sim_now() const noexcept { return clock_ != nullptr ? clock_->now() : 0.0; }
+  void trace_ping_outcome(AsId src_as, Ipv4 dst, const PingResult& result);
+
   const dp::DataPlane* dp_;
   Responsiveness* resp_;
   ProbeBudget budget_;
+  const util::Scheduler* clock_ = nullptr;
+
+  // Observability handles, resolved once at construction (see obs/metrics.h).
+  obs::Counter* c_pings_;
+  obs::Counter* c_spoofed_pings_;
+  obs::Counter* c_traceroute_probes_;
+  obs::Counter* c_spoofed_traceroute_probes_;
+  obs::Counter* c_option_probes_;
+  obs::Counter* c_replies_;
+  obs::Counter* c_losses_;
+  obs::TraceRing* trace_;
 };
 
 }  // namespace lg::measure

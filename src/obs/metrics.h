@@ -1,0 +1,140 @@
+// lg::obs — metrics registry. Named counters, gauges, and distribution
+// metrics (backed by lg::util's Summary/EmpiricalCdf) cheap enough to live on
+// the simulator's hot paths: instrumented code resolves a handle once (by
+// name, typically in a constructor) and every subsequent update is a branch
+// on the registry's enabled flag plus an add. No string lookup, no map
+// traversal, no allocation per event.
+//
+// Naming scheme: `lg.<module>.<name>` (e.g. lg.bgp.updates_sent,
+// lg.scheduler.events_executed, lg.lifeguard.time_to_repair). See the
+// Observability section of DESIGN.md for the full catalogue.
+//
+// The simulator is single-threaded by design, so the registry is too: plain
+// integers, no atomics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace lg::obs {
+
+class MetricsRegistry;
+
+// Monotonically increasing event count. Handles are stable for the lifetime
+// of their registry.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (*enabled_) value_ += n;
+  }
+  std::uint64_t value() const noexcept { return value_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, const bool* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  std::string name_;
+  const bool* enabled_;
+  std::uint64_t value_ = 0;
+};
+
+// Point-in-time value with a tracked high-water mark.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!*enabled_) return;
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  // Lift the high-water mark without asserting a new current value.
+  void maximize(double v) noexcept {
+    if (!*enabled_) return;
+    if (v > max_) max_ = v;
+  }
+  double value() const noexcept { return value_; }
+  double max() const noexcept { return max_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, const bool* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  std::string name_;
+  const bool* enabled_;
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sample distribution: streaming moments plus retained samples so reports
+// can export quantiles. Intended for low-rate observations (per-outage
+// latencies, per-run convergence times), not per-message hot paths.
+class Distribution {
+ public:
+  void observe(double x) {
+    if (!*enabled_) return;
+    summary_.add(x);
+    cdf_.add(x);
+  }
+  const util::Summary& summary() const noexcept { return summary_; }
+  const util::EmpiricalCdf& cdf() const noexcept { return cdf_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Distribution(std::string name, const bool* enabled)
+      : name_(std::move(name)), enabled_(enabled) {}
+  std::string name_;
+  const bool* enabled_;
+  util::Summary summary_;
+  util::EmpiricalCdf cdf_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry the instrumented subsystems report into.
+  static MetricsRegistry& global();
+
+  // Opt-out switch: with the registry disabled every update is a single
+  // predictable branch, so instrumentation can stay compiled-in everywhere.
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+  // Honor the LG_METRICS environment variable ("off"/"0" disables).
+  void configure_from_env();
+
+  // Find-or-create by name. Repeated calls with the same name return the
+  // same handle; a name registered as one kind must not be requested as
+  // another.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Distribution& distribution(const std::string& name);
+
+  // Zero every metric while keeping registrations (handles stay valid).
+  void reset();
+
+  // Name-sorted views for serialization.
+  std::vector<const Counter*> counters() const;
+  std::vector<const Gauge*> gauges() const;
+  std::vector<const Distribution*> distributions() const;
+
+ private:
+  bool enabled_ = true;
+  // deque: stable element addresses as the registry grows.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Distribution> distributions_;
+  std::unordered_map<std::string, Counter*> counter_by_name_;
+  std::unordered_map<std::string, Gauge*> gauge_by_name_;
+  std::unordered_map<std::string, Distribution*> distribution_by_name_;
+};
+
+}  // namespace lg::obs

@@ -1,0 +1,186 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/json.h"
+#include "util/scheduler.h"
+
+namespace lg::obs {
+
+void RunReport::set_config(const std::string& key, const std::string& value) {
+  config_[key] = ConfigValue{ConfigValue::Kind::kString, value, 0.0, false};
+}
+
+void RunReport::set_config(const std::string& key, double value) {
+  config_[key] = ConfigValue{ConfigValue::Kind::kNumber, {}, value, false};
+}
+
+void RunReport::set_config(const std::string& key, bool value) {
+  config_[key] = ConfigValue{ConfigValue::Kind::kBool, {}, 0.0, value};
+}
+
+void RunReport::headline(const std::string& key, double value) {
+  headline_[key] = ConfigValue{ConfigValue::Kind::kNumber, {}, value, false};
+}
+
+void RunReport::headline(const std::string& key, const std::string& value) {
+  headline_[key] = ConfigValue{ConfigValue::Kind::kString, value, 0.0, false};
+}
+
+void RunReport::capture_metrics(const MetricsRegistry& registry) {
+  for (const Counter* c : registry.counters()) {
+    counters_[c->name()] = c->value();
+  }
+  for (const Gauge* g : registry.gauges()) {
+    gauges_[g->name()] = GaugeSnapshot{g->value(), g->max()};
+  }
+  for (const Distribution* d : registry.distributions()) {
+    DistSnapshot snap;
+    const auto& s = d->summary();
+    snap.count = s.count();
+    snap.mean = s.mean();
+    snap.stddev = s.stddev();
+    snap.min = s.min();
+    snap.max = s.max();
+    const auto& cdf = d->cdf();
+    if (!cdf.empty()) {
+      snap.p50 = cdf.quantile(0.5);
+      snap.p90 = cdf.quantile(0.9);
+      snap.p99 = cdf.quantile(0.99);
+    }
+    distributions_[d->name()] = snap;
+  }
+}
+
+void RunReport::capture_traces(const TraceRing& ring, std::size_t max_events) {
+  traces_recorded_ = ring.recorded();
+  auto events = ring.events();
+  // Keep the newest `max_events`; everything older counts as dropped from
+  // the report's point of view (on top of ring wraparound).
+  if (events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  trace_events_ = std::move(events);
+  traces_dropped_ = traces_recorded_ - trace_events_.size();
+}
+
+void RunReport::capture_scheduler(const util::Scheduler& sched) {
+  counters_["lg.scheduler.events_executed"] = sched.executed();
+  auto& hwm = gauges_["lg.scheduler.queue_depth_hwm"];
+  hwm.value = static_cast<double>(sched.max_pending());
+  if (hwm.value > hwm.max) hwm.max = hwm.value;
+}
+
+std::string RunReport::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "lg.run_report.v1");
+  w.kv("report", name_);
+
+  const auto emit_kvmap = [&w](const char* section,
+                               const std::map<std::string, ConfigValue>& m) {
+    w.key(section);
+    w.begin_object();
+    for (const auto& [k, v] : m) {
+      switch (v.kind) {
+        case ConfigValue::Kind::kString:
+          w.kv(k, v.s);
+          break;
+        case ConfigValue::Kind::kNumber:
+          w.kv(k, v.num);
+          break;
+        case ConfigValue::Kind::kBool:
+          w.kv(k, v.b);
+          break;
+      }
+    }
+    w.end_object();
+  };
+  emit_kvmap("config", config_);
+  emit_kvmap("headline", headline_);
+
+  // Canonical counters every report must carry, even when zero.
+  auto counters = counters_;
+  counters.emplace("lg.bgp.updates_sent", 0);
+  counters.emplace("lg.scheduler.events_executed", 0);
+
+  w.key("metrics");
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [k, v] : counters) w.kv(k, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [k, v] : gauges_) {
+    w.key(k);
+    w.begin_object();
+    w.kv("value", v.value);
+    w.kv("max", v.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("distributions");
+  w.begin_object();
+  for (const auto& [k, v] : distributions_) {
+    w.key(k);
+    w.begin_object();
+    w.kv("count", v.count);
+    w.kv("mean", v.mean);
+    w.kv("stddev", v.stddev);
+    w.kv("min", v.min);
+    w.kv("max", v.max);
+    w.kv("p50", v.p50);
+    w.kv("p90", v.p90);
+    w.kv("p99", v.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
+  w.key("traces");
+  w.begin_object();
+  w.kv("recorded", traces_recorded_);
+  w.kv("dropped", traces_dropped_);
+  w.key("events");
+  w.begin_array();
+  for (const auto& e : trace_events_) {
+    w.begin_object();
+    w.kv("t", e.t);
+    w.kv("kind", trace_kind_name(e.kind));
+    w.kv("a", e.a);
+    w.kv("b", e.b);
+    w.kv("value", e.value);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  std::string out = w.str();
+  out += "\n";
+  return out;
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+std::string RunReport::default_path() const {
+  std::string path;
+  if (const char* dir = std::getenv("LG_REPORT_DIR"); dir != nullptr) {
+    path = dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+  }
+  path += "BENCH_" + name_ + ".json";
+  return path;
+}
+
+}  // namespace lg::obs

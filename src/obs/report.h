@@ -1,0 +1,91 @@
+// lg::obs — machine-readable run reports. A RunReport gathers run
+// configuration, headline results, a metrics snapshot, and a bounded slice
+// of the event trace, then serializes them as pretty-printed JSON (schema
+// `lg.run_report.v1`). Every bench harness writes one next to its ASCII
+// output as `BENCH_<name>.json`, establishing the perf/behaviour trajectory
+// across PRs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lg::util {
+class Scheduler;
+}
+
+namespace lg::obs {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  // ---- Run configuration (topology sizes, seeds, knobs) ----
+  void set_config(const std::string& key, const std::string& value);
+  void set_config(const std::string& key, const char* value) {
+    set_config(key, std::string(value));
+  }
+  void set_config(const std::string& key, double value);
+  void set_config(const std::string& key, bool value);
+
+  // ---- Headline results (the numbers the ASCII output leads with) ----
+  void headline(const std::string& key, double value);
+  void headline(const std::string& key, const std::string& value);
+
+  // ---- Snapshots ----
+  void capture_metrics(
+      const MetricsRegistry& registry = MetricsRegistry::global());
+  void capture_traces(const TraceRing& ring = TraceRing::global(),
+                      std::size_t max_events = 512);
+  // Convenience for harnesses driving a scheduler directly (without a
+  // SimWorld, which publishes these continuously).
+  void capture_scheduler(const util::Scheduler& sched);
+
+  // ---- Output ----
+  // The serialized report. Always contains the canonical counters
+  // lg.bgp.updates_sent and lg.scheduler.events_executed (zero when the run
+  // never exercised them) so downstream tooling can rely on the keys.
+  std::string to_json() const;
+  bool write_file(const std::string& path) const;
+  // "BENCH_<name>.json", placed under $LG_REPORT_DIR when set.
+  std::string default_path() const;
+
+ private:
+  struct ConfigValue {
+    enum class Kind { kString, kNumber, kBool } kind = Kind::kString;
+    std::string s;
+    double num = 0.0;
+    bool b = false;
+  };
+  struct DistSnapshot {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  struct GaugeSnapshot {
+    double value = 0.0;
+    double max = 0.0;
+  };
+
+  std::string name_;
+  std::map<std::string, ConfigValue> config_;
+  std::map<std::string, ConfigValue> headline_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, GaugeSnapshot> gauges_;
+  std::map<std::string, DistSnapshot> distributions_;
+  std::uint64_t traces_recorded_ = 0;
+  std::uint64_t traces_dropped_ = 0;
+  std::vector<TraceEvent> trace_events_;
+};
+
+}  // namespace lg::obs

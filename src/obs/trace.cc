@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lg::obs {
+
+const char* trace_kind_name(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kUpdateSent:
+      return "update_sent";
+    case TraceKind::kWithdrawSent:
+      return "withdraw_sent";
+    case TraceKind::kUpdateDelivered:
+      return "update_delivered";
+    case TraceKind::kMraiDefer:
+      return "mrai_defer";
+    case TraceKind::kBestPathChange:
+      return "best_path_change";
+    case TraceKind::kProbeIssued:
+      return "probe_issued";
+    case TraceKind::kProbeAnswered:
+      return "probe_answered";
+    case TraceKind::kProbeLost:
+      return "probe_lost";
+    case TraceKind::kOutageDetected:
+      return "outage_detected";
+    case TraceKind::kTargetStateChange:
+      return "target_state_change";
+    case TraceKind::kPoisonApplied:
+      return "poison_applied";
+    case TraceKind::kSelectivePoisonApplied:
+      return "selective_poison_applied";
+    case TraceKind::kEgressShifted:
+      return "egress_shifted";
+    case TraceKind::kRepairObserved:
+      return "repair_observed";
+    case TraceKind::kRepairReverted:
+      return "repair_reverted";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+TraceRing& TraceRing::global() {
+  static TraceRing ring;
+  return ring;
+}
+
+void TraceRing::configure_from_env() {
+  const char* v = std::getenv("LG_TRACE");
+  if (v == nullptr) return;
+  enabled_ = std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0;
+}
+
+void TraceRing::set_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, TraceEvent{});
+  recorded_ = 0;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = recorded_ - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceRing::clear() { recorded_ = 0; }
+
+}  // namespace lg::obs

@@ -1,0 +1,97 @@
+// lg::obs — bounded event tracer. A fixed-capacity ring of typed events with
+// simulated timestamps: BGP UPDATE send/delivery, MRAI deferrals, best-path
+// changes, probe issue/answer, LIFEGUARD target state transitions, and the
+// repair lifecycle (detect -> poison -> verify -> unpoison). When the ring
+// fills, the oldest events are overwritten and counted as dropped — tracing
+// never grows memory with the run.
+//
+// Tracing is OFF by default (unlike metrics): per-message event capture on a
+// multi-million-event convergence run is measurable overhead, so harnesses
+// and tests opt in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lg::obs {
+
+enum class TraceKind : std::uint8_t {
+  // BGP control plane. a = sender AS, b = receiver AS.
+  kUpdateSent = 0,
+  kWithdrawSent,
+  kUpdateDelivered,
+  kMraiDefer,
+  // a = AS whose best route changed.
+  kBestPathChange,
+  // Measurement. a = source AS, b = destination address.
+  kProbeIssued,
+  kProbeAnswered,
+  kProbeLost,
+  // LIFEGUARD lifecycle. a = target address or blamed AS (per kind),
+  // b = auxiliary (state code, target AS).
+  kOutageDetected,
+  kTargetStateChange,
+  kPoisonApplied,
+  kSelectivePoisonApplied,
+  kEgressShifted,
+  kRepairObserved,
+  kRepairReverted,
+};
+
+const char* trace_kind_name(TraceKind k) noexcept;
+
+struct TraceEvent {
+  double t = 0.0;  // simulated seconds
+  TraceKind kind = TraceKind::kUpdateSent;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double value = 0.0;  // kind-specific magnitude (e.g. elapsed seconds)
+};
+
+class TraceRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  // Process-wide ring the instrumented subsystems record into.
+  static TraceRing& global();
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+  // Honor the LG_TRACE environment variable ("on"/"1" enables).
+  void configure_from_env();
+
+  void record(double t, TraceKind kind, std::uint64_t a = 0,
+              std::uint64_t b = 0, double value = 0.0) {
+    if (!enabled_) return;
+    ring_[recorded_ % capacity_] = TraceEvent{t, kind, a, b, value};
+    ++recorded_;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  // Resets contents.
+  void set_capacity(std::size_t capacity);
+
+  // Events currently held (<= capacity).
+  std::size_t size() const noexcept {
+    return recorded_ < capacity_ ? static_cast<std::size_t>(recorded_)
+                                 : capacity_;
+  }
+  // Total ever recorded / overwritten by wraparound.
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  std::uint64_t dropped() const noexcept { return recorded_ - size(); }
+
+  // Held events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_;
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+}  // namespace lg::obs

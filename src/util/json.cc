@@ -1,0 +1,154 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lg::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // 2^53: largest range where doubles represent every integer exactly.
+  if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::pre_value() {
+  if (pending_key_) {
+    // Value follows its key on the same line.
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().has_items) os_ << ",";
+  os_ << "\n";
+  indent();
+  stack_.back().has_items = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  os_ << "{";
+  stack_.push_back(Frame{/*array=*/false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had_items = !stack_.empty() && stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    os_ << "\n";
+    indent();
+  }
+  os_ << "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  os_ << "[";
+  stack_.push_back(Frame{/*array=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had_items = !stack_.empty() && stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    os_ << "\n";
+    indent();
+  }
+  os_ << "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  if (stack_.back().has_items) os_ << ",";
+  os_ << "\n";
+  indent();
+  stack_.back().has_items = true;
+  os_ << "\"" << json_escape(k) << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  os_ << "\"" << json_escape(v) << "\"";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  os_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace lg::util

@@ -1,0 +1,67 @@
+// Minimal streaming JSON emitter (no third-party deps) used by the
+// observability layer to produce machine-readable run reports. Output is
+// deterministic — pretty-printed with two-space indentation, keys emitted in
+// whatever order the caller provides — so reports are diffable and suitable
+// for golden-file tests.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lg::util {
+
+// Backslash-escape a string for inclusion in a JSON document (quotes not
+// included).
+std::string json_escape(const std::string& s);
+
+// Deterministic number rendering: integral values print without a decimal
+// point; everything else uses "%.10g". NaN/inf are not representable in JSON
+// and render as null.
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Emit the key of the next object member. Must be inside an object.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  // The document so far. Valid JSON once every container has been closed.
+  std::string str() const { return os_.str(); }
+
+ private:
+  struct Frame {
+    bool array = false;
+    bool has_items = false;
+  };
+
+  // Comma/newline/indent bookkeeping shared by every value-producing call.
+  void pre_value();
+  void indent();
+
+  std::ostringstream os_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace lg::util

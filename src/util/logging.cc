@@ -9,8 +9,7 @@ Logger& Logger::instance() {
   return logger;
 }
 
-namespace {
-const char* level_name(LogLevel level) {
+const char* log_level_name(LogLevel level) noexcept {
   switch (level) {
     case LogLevel::kTrace:
       return "TRACE";
@@ -27,16 +26,21 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
 void Logger::write(LogLevel level, const std::string& msg) {
   if (!enabled(level)) return;
+  char prefix[48];
   if (now_ != nullptr) {
-    std::fprintf(stderr, "[%10.2f] %-5s %s\n", now_(), level_name(level),
-                 msg.c_str());
+    std::snprintf(prefix, sizeof(prefix), "[t=%.2f] %-5s ", now_(),
+                  log_level_name(level));
   } else {
-    std::fprintf(stderr, "%-5s %s\n", level_name(level), msg.c_str());
+    std::snprintf(prefix, sizeof(prefix), "%-5s ", log_level_name(level));
   }
+  if (sink_) {
+    sink_(level, prefix + msg);
+    return;
+  }
+  std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
 }
 
 }  // namespace lg::util

@@ -3,6 +3,7 @@
 // output. Not thread-safe by design: the simulator is single-threaded.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -10,16 +11,28 @@ namespace lg::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
+const char* log_level_name(LogLevel level) noexcept;
+
 class Logger {
  public:
+  // Receives the level and the fully formatted line (level name, optional
+  // "[t=...]" prefix, message — no trailing newline).
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
   static Logger& instance();
 
   void set_level(LogLevel level) noexcept { level_ = level; }
   LogLevel level() const noexcept { return level_; }
-  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+  bool enabled(LogLevel level) const noexcept {
+    return level != LogLevel::kOff && level >= level_;
+  }
 
   // Optionally prefix messages with a simulated timestamp provider.
   void set_time_provider(double (*now)()) noexcept { now_ = now; }
+
+  // Route formatted lines through `sink` instead of stderr (tests capture
+  // output this way). An empty sink restores stderr.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
 
   void write(LogLevel level, const std::string& msg);
 
@@ -27,6 +40,7 @@ class Logger {
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   double (*now_)() = nullptr;
+  Sink sink_;
 };
 
 namespace detail {

@@ -10,12 +10,16 @@ std::uint64_t Scheduler::at(SimTime when, Callback cb) {
   queue_.push(Event{when, next_seq_++, id});
   callbacks_.emplace(id, std::move(cb));
   ++live_events_;
+  if (live_events_ > max_pending_) max_pending_ = live_events_;
   return id;
 }
 
 bool Scheduler::cancel(std::uint64_t id) {
   const auto erased = callbacks_.erase(id);
-  if (erased != 0) --live_events_;
+  if (erased != 0) {
+    --live_events_;
+    ++cancelled_;
+  }
   return erased != 0;
 }
 

@@ -49,6 +49,9 @@ class Scheduler {
   bool empty() const noexcept { return live_events_ == 0; }
   std::size_t pending() const noexcept { return live_events_; }
   std::uint64_t executed() const noexcept { return executed_; }
+  // High-water mark of pending events (queue depth) over the run.
+  std::size_t max_pending() const noexcept { return max_pending_; }
+  std::uint64_t cancelled() const noexcept { return cancelled_; }
 
   static constexpr SimTime kForever = 1e300;
 
@@ -69,7 +72,9 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::size_t live_events_ = 0;
+  std::size_t max_pending_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   // id -> callback; erased on fire/cancel. Cancelled events stay in the
   // priority queue as tombstones and are skipped when popped.

@@ -9,10 +9,14 @@ namespace lg::workload {
 SimWorld::SimWorld(SimWorldConfig cfg)
     : topo_(topo::generate_topology(cfg.topology)),
       resp_(cfg.responsiveness) {
+  auto& reg = obs::MetricsRegistry::global();
+  c_sched_executed_ = &reg.counter("lg.scheduler.events_executed");
+  g_sched_queue_hwm_ = &reg.gauge("lg.scheduler.queue_depth_hwm");
   engine_ = std::make_unique<bgp::BgpEngine>(topo_.graph, sched_, cfg.engine);
   net_ = std::make_unique<dp::RouterNet>(topo_.graph);
   dataplane_ = std::make_unique<dp::DataPlane>(*engine_, *net_, failures_);
   prober_ = std::make_unique<measure::Prober>(*dataplane_, resp_);
+  prober_->attach_clock(sched_);
 
   if (cfg.announce_infrastructure) {
     for (const AsId as : topo_.graph.as_ids()) {
@@ -36,6 +40,12 @@ SimWorldConfig SimWorld::small_config(std::uint64_t seed) {
   cfg.engine.seed = seed + 1;
   cfg.responsiveness.seed = seed + 2;
   return cfg;
+}
+
+void SimWorld::publish_scheduler_metrics() {
+  c_sched_executed_->inc(sched_.executed() - published_executed_);
+  published_executed_ = sched_.executed();
+  g_sched_queue_hwm_->maximize(static_cast<double>(sched_.max_pending()));
 }
 
 void SimWorld::announce_production(AsId as) {

@@ -16,6 +16,7 @@
 #include "measure/probes.h"
 #include "measure/responsiveness.h"
 #include "measure/vantage.h"
+#include "obs/metrics.h"
 #include "topology/generator.h"
 #include "util/scheduler.h"
 
@@ -35,6 +36,7 @@ struct SimWorldConfig {
 class SimWorld {
  public:
   explicit SimWorld(SimWorldConfig cfg = {});
+  ~SimWorld() { publish_scheduler_metrics(); }
 
   // Convenience: smaller default topology for unit/integration tests.
   static SimWorldConfig small_config(std::uint64_t seed = 42);
@@ -54,9 +56,15 @@ class SimWorld {
   void announce_production(AsId as);
 
   // Drain the scheduler: BGP quiesces.
-  void converge() { sched_.run(); }
+  void converge() {
+    sched_.run();
+    publish_scheduler_metrics();
+  }
   // Advance simulated time by `seconds`, executing due events.
-  void advance(double seconds) { sched_.run(sched_.now() + seconds); }
+  void advance(double seconds) {
+    sched_.run(sched_.now() + seconds);
+    publish_scheduler_metrics();
+  }
 
   // Highest-degree transit ASes, the "peers with a route collector" set of
   // §5.1 (tier-1s excluded, as the paper excludes them from poisoning).
@@ -65,8 +73,17 @@ class SimWorld {
   std::vector<AsId> stub_vantage_ases(std::size_t n) const;
 
  private:
+  // Mirror the scheduler's counters into the global metrics registry
+  // (lg.scheduler.*). The scheduler lives below lg::obs in the dependency
+  // graph, so the world — which owns it — publishes on its behalf. Deltas,
+  // so several sequential worlds aggregate instead of overwriting.
+  void publish_scheduler_metrics();
+
   topo::GeneratedTopology topo_;
   util::Scheduler sched_;
+  std::uint64_t published_executed_ = 0;
+  obs::Counter* c_sched_executed_;
+  obs::Gauge* g_sched_queue_hwm_;
   std::unique_ptr<bgp::BgpEngine> engine_;
   std::unique_ptr<dp::RouterNet> net_;
   dp::FailureInjector failures_;

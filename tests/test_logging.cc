@@ -1,0 +1,103 @@
+// util::Logger — sink capture, simulated-time prefixes, and the kOff fast
+// path. The logger is a process-wide singleton, so every test restores the
+// default level/sink/time-provider on exit.
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lg::util {
+namespace {
+
+struct LoggerGuard {
+  LoggerGuard() = default;
+  ~LoggerGuard() {
+    auto& log = Logger::instance();
+    log.set_level(LogLevel::kWarn);
+    log.set_sink({});
+    log.set_time_provider(nullptr);
+  }
+};
+
+struct CapturedLine {
+  LogLevel level;
+  std::string text;
+};
+
+std::vector<CapturedLine>* capture(Logger& log) {
+  static std::vector<CapturedLine> lines;
+  lines.clear();
+  log.set_sink([](LogLevel level, const std::string& text) {
+    lines.push_back({level, text});
+  });
+  return &lines;
+}
+
+TEST(Logging, SinkCapturesFormattedLines) {
+  LoggerGuard guard;
+  auto& log = Logger::instance();
+  log.set_level(LogLevel::kInfo);
+  auto* lines = capture(log);
+
+  LG_INFO << "hello " << 42;
+  LG_ERROR << "boom";
+
+  ASSERT_EQ(lines->size(), 2u);
+  EXPECT_EQ((*lines)[0].level, LogLevel::kInfo);
+  EXPECT_EQ((*lines)[0].text, "INFO  hello 42");
+  EXPECT_EQ((*lines)[1].level, LogLevel::kError);
+  EXPECT_EQ((*lines)[1].text, "ERROR boom");
+}
+
+TEST(Logging, LevelFiltersLowerSeverities) {
+  LoggerGuard guard;
+  auto& log = Logger::instance();
+  log.set_level(LogLevel::kWarn);
+  auto* lines = capture(log);
+
+  LG_DEBUG << "not seen";
+  LG_INFO << "not seen either";
+  LG_WARN << "seen";
+
+  ASSERT_EQ(lines->size(), 1u);
+  EXPECT_EQ((*lines)[0].text, "WARN  seen");
+}
+
+TEST(Logging, TimeProviderPrefixesSimulatedTimestamp) {
+  LoggerGuard guard;
+  auto& log = Logger::instance();
+  log.set_level(LogLevel::kInfo);
+  log.set_time_provider(+[] { return 12.5; });
+  auto* lines = capture(log);
+
+  LG_INFO << "tick";
+
+  ASSERT_EQ(lines->size(), 1u);
+  EXPECT_EQ((*lines)[0].text, "[t=12.50] INFO  tick");
+}
+
+TEST(Logging, OffLevelSuppressesEverything) {
+  LoggerGuard guard;
+  auto& log = Logger::instance();
+  log.set_level(LogLevel::kOff);
+  auto* lines = capture(log);
+
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+  LG_ERROR << "must not appear";
+  log.write(LogLevel::kError, "direct write must not appear");
+
+  EXPECT_TRUE(lines->empty());
+}
+
+TEST(Logging, KOffIsNeverEnabledAsAMessageLevel) {
+  LoggerGuard guard;
+  auto& log = Logger::instance();
+  log.set_level(LogLevel::kTrace);
+  // Even with everything else enabled, kOff itself is not a writable level.
+  EXPECT_FALSE(log.enabled(LogLevel::kOff));
+}
+
+}  // namespace
+}  // namespace lg::util

@@ -40,6 +40,35 @@ TEST(SummaryTest, MergeEqualsCombinedStream) {
   EXPECT_EQ(a.max(), all.max());
 }
 
+TEST(SummaryTest, MergeEmptyIntoNonEmptyIsIdentity) {
+  Summary a, empty;
+  for (const double x : {1.0, 2.0, 3.0}) a.add(x);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 3.0);
+}
+
+TEST(SummaryTest, MergeNonEmptyIntoEmptyCopies) {
+  Summary empty, b;
+  for (const double x : {4.0, 6.0}) b.add(x);
+  empty.merge(b);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+  EXPECT_EQ(empty.min(), 4.0);
+  EXPECT_EQ(empty.max(), 6.0);
+  EXPECT_NEAR(empty.variance(), b.variance(), 1e-12);
+}
+
+TEST(SummaryTest, MergeTwoEmptiesStaysEmpty) {
+  Summary a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
 TEST(EmpiricalCdfTest, CdfAndQuantiles) {
   EmpiricalCdf c;
   for (int i = 1; i <= 100; ++i) c.add(i);
@@ -80,6 +109,27 @@ TEST(EmpiricalCdfTest, EmptyIsSafe) {
   EXPECT_EQ(c.quantile(0.5), 0.0);
   EXPECT_EQ(c.mean_residual(1.0), 0.0);
   EXPECT_EQ(c.mass_fraction_above(1.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, SingleSampleQuantiles) {
+  EmpiricalCdf c;
+  c.add(7.0);
+  // Every quantile of a one-point distribution is that point.
+  EXPECT_EQ(c.quantile(0.0), 7.0);
+  EXPECT_EQ(c.quantile(0.5), 7.0);
+  EXPECT_EQ(c.quantile(1.0), 7.0);
+  EXPECT_EQ(c.median(), 7.0);
+  EXPECT_DOUBLE_EQ(c.cdf(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.cdf(6.9), 0.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileEndpointsAreMinAndMax) {
+  EmpiricalCdf c;
+  for (const double x : {3.0, 1.0, 2.0}) c.add(x);
+  EXPECT_EQ(c.quantile(0.0), 1.0);
+  EXPECT_EQ(c.quantile(1.0), 3.0);
+  EXPECT_EQ(c.min(), 1.0);
+  EXPECT_EQ(c.max(), 3.0);
 }
 
 TEST(HistogramTest, BinningAndOverflow) {
