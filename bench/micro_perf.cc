@@ -133,6 +133,77 @@ void BM_ValleyFreeReachability(benchmark::State& state) {
 }
 BENCHMARK(BM_ValleyFreeReachability);
 
+// Single-speaker hot paths, isolated from the scheduler: one transit AS
+// with two customer neighbors alternately announcing the same prefix. The
+// Arg is the topology's stub count (neighbor fan-out grows with it), at the
+// usual small scale and the 600-stub scale of the scaling experiments.
+struct SpeakerFixture {
+  topo::GeneratedTopology topo;
+  AsId as = topo::kInvalidAs;
+  AsId cust1 = topo::kInvalidAs;
+  AsId cust2 = topo::kInvalidAs;
+  AsId origin = topo::kInvalidAs;
+  topo::Prefix prefix;
+
+  explicit SpeakerFixture(std::uint32_t stubs) {
+    topo::TopologyParams params;
+    params.num_stubs = stubs;
+    params.seed = 11;
+    topo = topo::generate_topology(params);
+    for (const AsId cand : topo.small_transit) {
+      std::vector<AsId> customers;
+      for (const auto& n : topo.graph.neighbors(cand)) {
+        if (n.rel == topo::Rel::kCustomer) customers.push_back(n.id);
+      }
+      if (customers.size() >= 2) {
+        as = cand;
+        cust1 = customers[0];
+        cust2 = customers[1];
+        break;
+      }
+    }
+    origin = topo.stubs.front();
+    prefix = topo::AddressPlan::production_prefix(origin);
+  }
+
+  bgp::UpdateMessage announce(AsId from, bgp::AsPath path) const {
+    bgp::UpdateMessage msg;
+    msg.type = bgp::MsgType::kAnnounce;
+    msg.from = from;
+    msg.to = as;
+    msg.prefix = prefix;
+    msg.path = bgp::PathRef(std::move(path));
+    return msg;
+  }
+};
+
+void BM_ProcessUpdate(benchmark::State& state) {
+  const SpeakerFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  bgp::BgpSpeaker speaker(fx.as, fx.topo.graph);
+  const auto m1 = fx.announce(fx.cust1, {fx.cust1, fx.origin});
+  const auto m2 = fx.announce(fx.cust2, {fx.cust2, fx.origin, fx.origin});
+  bool flip = false;
+  double now = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(speaker.process_update(flip ? m2 : m1, now));
+    flip = !flip;
+    now += 0.001;
+  }
+}
+BENCHMARK(BM_ProcessUpdate)->Arg(200)->Arg(600);
+
+void BM_ExportPath(benchmark::State& state) {
+  const SpeakerFixture fx(static_cast<std::uint32_t>(state.range(0)));
+  bgp::BgpSpeaker speaker(fx.as, fx.topo.graph);
+  // Customer-learned best route: exportable to every neighbor, and cust2 is
+  // not the next hop, so split horizon does not bite.
+  speaker.process_update(fx.announce(fx.cust1, {fx.cust1, fx.origin}), 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(speaker.export_path(fx.prefix, fx.cust2));
+  }
+}
+BENCHMARK(BM_ExportPath)->Arg(200)->Arg(600);
+
 void BM_OutageStudyGeneration(benchmark::State& state) {
   std::uint64_t seed = 1;
   for (auto _ : state) {

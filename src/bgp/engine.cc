@@ -11,14 +11,14 @@ namespace lg::bgp {
 BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
                      EngineConfig cfg)
     : graph_(&graph), sched_(&sched), cfg_(cfg), rng_(cfg.seed, 0x62677065ULL) {
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   c_updates_sent_ = &reg.counter("lg.bgp.updates_sent");
   c_announces_sent_ = &reg.counter("lg.bgp.announces_sent");
   c_withdrawals_sent_ = &reg.counter("lg.bgp.withdrawals_sent");
   c_updates_delivered_ = &reg.counter("lg.bgp.updates_delivered");
   c_mrai_deferrals_ = &reg.counter("lg.bgp.mrai_deferrals");
   c_best_path_changes_ = &reg.counter("lg.bgp.best_path_changes");
-  trace_ = &obs::TraceRing::global();
+  trace_ = &obs::TraceRing::current();
   for (const AsId id : graph.as_ids()) {
     speakers_.emplace(id, BgpSpeaker(id, graph, SpeakerConfig{}));
   }
@@ -131,7 +131,10 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
     c_withdrawals_sent_->inc();
     trace_->record(sched_->now(), obs::TraceKind::kWithdrawSent, from, to);
   }
-  sched_->after(link_delay(), [this, msg] { deliver(msg); });
+  // Move the message into the delivery lambda: the path/communities buffers
+  // built above transfer instead of being copied per in-flight update.
+  sched_->after(link_delay(),
+                [this, msg = std::move(msg)] { deliver(msg); });
 }
 
 void BgpEngine::deliver(const UpdateMessage& msg) {
@@ -187,6 +190,15 @@ void BgpEngine::reset_counters() {
   last_activity_ = sched_->now();
   sent_by_.clear();
   best_changes_.clear();
+  // Keep the registry's lg.bgp.* counters in lockstep with the engine-local
+  // ones: a run report generated after a reset should only show the phase
+  // since the reset, not silently include setup-phase convergence traffic.
+  c_updates_sent_->reset();
+  c_announces_sent_->reset();
+  c_withdrawals_sent_->reset();
+  c_updates_delivered_->reset();
+  c_mrai_deferrals_->reset();
+  c_best_path_changes_->reset();
 }
 
 std::uint64_t BgpEngine::messages_sent_by(AsId as) const {

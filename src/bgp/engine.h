@@ -16,6 +16,7 @@
 #include "bgp/speaker.h"
 #include "bgp/types.h"
 #include "topology/as_graph.h"
+#include "util/hashing.h"
 #include "util/rng.h"
 #include "util/scheduler.h"
 
@@ -86,6 +87,9 @@ class BgpEngine {
   }
 
   // ---- Counters (resettable; used for U in Table 2 and §5.2) ----
+  // Also zeroes this engine's lg.bgp.* counters in the metrics registry it
+  // was constructed against, so per-phase run reports do not double-count
+  // earlier phases of the same process.
   void reset_counters();
   std::uint64_t total_messages() const noexcept { return total_messages_; }
   std::uint64_t messages_sent_by(AsId as) const;
@@ -93,7 +97,7 @@ class BgpEngine {
   // Time of the last delivered message since reset (global convergence end).
   double last_activity_time() const noexcept { return last_activity_; }
 
- private:
+  // Public so the hash-quality regression tests can exercise it directly.
   struct SessionPrefixKey {
     std::uint64_t session;  // (from << 32) | to
     Prefix prefix;
@@ -102,10 +106,16 @@ class BgpEngine {
   };
   struct SessionPrefixKeyHash {
     std::size_t operator()(const SessionPrefixKey& k) const noexcept {
-      return std::hash<std::uint64_t>{}(k.session) ^
-             (topo::PrefixHash{}(k.prefix) * 0x9e3779b97f4a7c15ULL);
+      // hash_combine, not XOR: the MRAI map holds one entry per (session,
+      // prefix) and a plain XOR of the two field hashes cancels correlated
+      // bits (any (session ^ d, prefix') pair with matching prefix-hash
+      // delta d collides deterministically).
+      return util::hash_combine(std::hash<std::uint64_t>{}(k.session),
+                                topo::PrefixHash{}(k.prefix));
     }
   };
+
+ private:
   struct MraiState {
     double ready_at = 0.0;
     bool flush_scheduled = false;

@@ -234,10 +234,14 @@ std::optional<BgpSpeaker::ExportUnit> BgpSpeaker::export_path(
   const bool allowed = best.learned == LearnedFrom::kCustomer ||
                        *nrel == topo::Rel::kCustomer;
   if (!allowed) return std::nullopt;
+  // Build the prepended path once (exact reserve, single allocation), then
+  // hand the buffer to a PathRef — everything downstream shares it.
+  AsPath prepended;
+  prepended.reserve(best.path.size() + 1);
+  prepended.push_back(id_);
+  prepended.insert(prepended.end(), best.path.begin(), best.path.end());
   ExportUnit out;
-  out.path.reserve(best.path.size() + 1);
-  out.path.push_back(id_);
-  out.path.insert(out.path.end(), best.path.begin(), best.path.end());
+  out.path = PathRef(std::move(prepended));
   if (!cfg_.strips_communities) out.communities = best.communities;
   out.avoid_hint = best.avoid_hint;  // signed hints survive end-to-end
   return out;

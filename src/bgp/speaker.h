@@ -101,9 +101,11 @@ class BgpSpeaker {
   // default route if configured.
   FibResult fib_lookup(topo::Ipv4 dst) const;
 
-  // One advertisable unit: path + attached attributes.
+  // One advertisable unit: path + attached attributes. The path is a
+  // PathRef, so the engine's UpdateMessage, the delivery lambda, and the
+  // receiver's Adj-RIB-In all share one buffer with the Adj-RIB-Out entry.
   struct ExportUnit {
-    AsPath path;
+    PathRef path;
     Communities communities;
     std::optional<AvoidHint> avoid_hint;
     friend bool operator==(const ExportUnit&, const ExportUnit&) = default;

@@ -5,6 +5,11 @@
 
 namespace lg::bgp {
 
+const AsPath& PathRef::empty_path() noexcept {
+  static const AsPath kEmpty;
+  return kEmpty;
+}
+
 std::string path_str(const AsPath& path) {
   std::string out;
   for (std::size_t i = 0; i < path.size(); ++i) {

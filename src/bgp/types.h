@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bgp/path_ref.h"
 #include "topology/as_graph.h"
 #include "topology/prefix.h"
 
@@ -20,8 +21,6 @@ namespace lg::bgp {
 
 using topo::AsId;
 using topo::Prefix;
-
-using AsPath = std::vector<AsId>;
 
 // BGP community attribute values (RFC 1997 style, opaque 32-bit tags). The
 // paper probes communities as a possible AVOID_PROBLEM notification channel
@@ -73,7 +72,7 @@ const char* learned_from_name(LearnedFrom lf) noexcept;
 
 struct Route {
   Prefix prefix;
-  AsPath path;            // as received (no self-prepend)
+  PathRef path;           // as received (no self-prepend); shared buffer
   AsId neighbor = topo::kInvalidAs;  // who advertised it to us
   LearnedFrom learned = LearnedFrom::kLocal;
   Communities communities;  // as received (possibly stripped upstream)
@@ -96,7 +95,7 @@ struct UpdateMessage {
   AsId from = topo::kInvalidAs;
   AsId to = topo::kInvalidAs;
   Prefix prefix;
-  AsPath path;              // valid iff type == kAnnounce
+  PathRef path;             // valid iff type == kAnnounce; shared buffer
   Communities communities;  // valid iff type == kAnnounce
   std::optional<AvoidHint> avoid_hint;  // valid iff type == kAnnounce
 
@@ -107,16 +106,17 @@ struct UpdateMessage {
 // (selective advertising / selective poisoning, §3.1.2).
 struct OriginPolicy {
   // Default announcement sent to neighbors without an explicit override.
-  // nullopt means "do not announce by default".
-  std::optional<AsPath> default_path;
+  // nullopt means "do not announce by default". PathRef, so every export of
+  // the policy shares one buffer instead of copying the path per neighbor.
+  std::optional<PathRef> default_path;
   // Per-neighbor overrides; nullopt value = withhold from that neighbor.
-  std::unordered_map<AsId, std::optional<AsPath>> per_neighbor;
+  std::unordered_map<AsId, std::optional<PathRef>> per_neighbor;
   // Communities attached to every announcement of this prefix.
   Communities communities;
   // AVOID_PROBLEM hint attached to every announcement of this prefix.
   std::optional<AvoidHint> avoid_hint;
 
-  const std::optional<AsPath>& path_for(AsId neighbor) const {
+  const std::optional<PathRef>& path_for(AsId neighbor) const {
     const auto it = per_neighbor.find(neighbor);
     return it == per_neighbor.end() ? default_path : it->second;
   }

@@ -34,7 +34,7 @@ Lifeguard::Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
       decider_(engine.graph(), cfg.decision),
       remediator_(engine, origin, cfg.remediation),
       sentinel_(prober, origin) {
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   c_outages_detected_ = &reg.counter("lg.lifeguard.outages_detected");
   c_isolations_forward_ = &reg.counter("lg.lifeguard.isolations_forward");
   c_isolations_reverse_ = &reg.counter("lg.lifeguard.isolations_reverse");
@@ -51,7 +51,7 @@ Lifeguard::Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
   c_repairs_completed_ = &reg.counter("lg.lifeguard.repairs_completed");
   d_time_to_repair_ = &reg.distribution("lg.lifeguard.time_to_repair");
   d_time_to_remediate_ = &reg.distribution("lg.lifeguard.time_to_remediate");
-  trace_ = &obs::TraceRing::global();
+  trace_ = &obs::TraceRing::current();
 }
 
 void Lifeguard::set_state(TargetCtx& target, TargetState state) {

@@ -7,7 +7,7 @@ namespace lg::measure {
 
 Prober::Prober(const dp::DataPlane& dataplane, Responsiveness& responsiveness)
     : dp_(&dataplane), resp_(&responsiveness) {
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   c_pings_ = &reg.counter("lg.measure.pings");
   c_spoofed_pings_ = &reg.counter("lg.measure.spoofed_pings");
   c_traceroute_probes_ = &reg.counter("lg.measure.traceroute_probes");
@@ -16,7 +16,7 @@ Prober::Prober(const dp::DataPlane& dataplane, Responsiveness& responsiveness)
   c_option_probes_ = &reg.counter("lg.measure.option_probes");
   c_replies_ = &reg.counter("lg.measure.probe_replies");
   c_losses_ = &reg.counter("lg.measure.probe_losses");
-  trace_ = &obs::TraceRing::global();
+  trace_ = &obs::TraceRing::current();
 }
 
 // Responsiveness verdict bookkeeping shared by every ping flavour.

@@ -11,6 +11,37 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
+namespace {
+thread_local MetricsRegistry* tls_current_registry = nullptr;
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::current() noexcept {
+  return tls_current_registry != nullptr ? *tls_current_registry : global();
+}
+
+MetricsRegistry* MetricsRegistry::exchange_current(
+    MetricsRegistry* reg) noexcept {
+  MetricsRegistry* prev = tls_current_registry;
+  tls_current_registry = reg;
+  return prev;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& c : other.counters_) {
+    counter(c.name()).value_ += c.value_;
+  }
+  for (const auto& g : other.gauges_) {
+    Gauge& dst = gauge(g.name());
+    dst.value_ = g.value_;  // last merge wins; callers merge in index order
+    if (g.max_ > dst.max_) dst.max_ = g.max_;
+  }
+  for (const auto& d : other.distributions_) {
+    Distribution& dst = distribution(d.name());
+    dst.summary_.merge(d.summary_);
+    dst.cdf_.add_all(d.cdf_.sorted_samples());
+  }
+}
+
 void MetricsRegistry::configure_from_env() {
   const char* v = std::getenv("LG_METRICS");
   if (v == nullptr) return;

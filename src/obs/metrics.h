@@ -9,8 +9,14 @@
 // lg.scheduler.events_executed, lg.lifeguard.time_to_repair). See the
 // Observability section of DESIGN.md for the full catalogue.
 //
-// The simulator is single-threaded by design, so the registry is too: plain
-// integers, no atomics.
+// Each registry is single-threaded (plain integers, no atomics), matching
+// the simulator, but the process is not: lg::run's TrialRunner runs one
+// SimWorld per worker thread. Parallel safety comes from *scoping*, not
+// locking — every thread reports into its thread-current registry
+// (MetricsRegistry::current(), installed via ScopedMetricsRegistry and
+// defaulting to the global one), and per-trial registries are merge()d into
+// the global registry sequentially, in trial-index order, so merged results
+// are byte-identical for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +38,10 @@ class Counter {
   void inc(std::uint64_t n = 1) noexcept {
     if (*enabled_) value_ += n;
   }
+  // Zero just this counter (registration and handle stay valid). Lets an
+  // instrumented subsystem with its own resettable counters (e.g.
+  // BgpEngine::reset_counters) keep the registry in lockstep.
+  void reset() noexcept { value_ = 0; }
   std::uint64_t value() const noexcept { return value_; }
   const std::string& name() const noexcept { return name_; }
 
@@ -101,8 +111,20 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  // Process-wide registry the instrumented subsystems report into.
+  // Process-wide registry merged results and single-threaded runs land in.
   static MetricsRegistry& global();
+
+  // The registry instrumented code should resolve handles against: the one
+  // installed on this thread by ScopedMetricsRegistry, else global().
+  static MetricsRegistry& current() noexcept;
+  // Install `reg` as this thread's current registry (nullptr restores the
+  // global default). Returns the previous override for restoration.
+  static MetricsRegistry* exchange_current(MetricsRegistry* reg) noexcept;
+
+  // Fold `other` into this registry: counters add, gauges keep the merged
+  // value and the max high-water mark, distributions concatenate. Callers
+  // control determinism by merging in a fixed order (trial index).
+  void merge(const MetricsRegistry& other);
 
   // Opt-out switch: with the registry disabled every update is a single
   // predictable branch, so instrumentation can stay compiled-in everywhere.
@@ -135,6 +157,21 @@ class MetricsRegistry {
   std::unordered_map<std::string, Counter*> counter_by_name_;
   std::unordered_map<std::string, Gauge*> gauge_by_name_;
   std::unordered_map<std::string, Distribution*> distribution_by_name_;
+};
+
+// RAII scope that makes `reg` the thread-current registry, so everything the
+// enclosed code instruments (SimWorld, BgpEngine, Prober, ...) reports into
+// it instead of the global singleton.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry& reg)
+      : prev_(MetricsRegistry::exchange_current(&reg)) {}
+  ~ScopedMetricsRegistry() { MetricsRegistry::exchange_current(prev_); }
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
 };
 
 }  // namespace lg::obs

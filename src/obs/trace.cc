@@ -51,6 +51,26 @@ TraceRing& TraceRing::global() {
   return ring;
 }
 
+namespace {
+thread_local TraceRing* tls_current_ring = nullptr;
+}  // namespace
+
+TraceRing& TraceRing::current() noexcept {
+  return tls_current_ring != nullptr ? *tls_current_ring : global();
+}
+
+TraceRing* TraceRing::exchange_current(TraceRing* ring) noexcept {
+  TraceRing* prev = tls_current_ring;
+  tls_current_ring = ring;
+  return prev;
+}
+
+void TraceRing::merge(const TraceRing& other) {
+  for (const TraceEvent& ev : other.events()) {
+    record(ev.t, ev.kind, ev.a, ev.b, ev.value);
+  }
+}
+
 void TraceRing::configure_from_env() {
   const char* v = std::getenv("LG_TRACE");
   if (v == nullptr) return;

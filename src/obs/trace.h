@@ -54,8 +54,20 @@ class TraceRing {
 
   explicit TraceRing(std::size_t capacity = kDefaultCapacity);
 
-  // Process-wide ring the instrumented subsystems record into.
+  // Process-wide ring merged results and single-threaded runs land in.
   static TraceRing& global();
+
+  // The ring instrumented code should record into: the one installed on this
+  // thread by ScopedTraceRing, else global(). Mirrors
+  // MetricsRegistry::current(); see the scoping notes in metrics.h.
+  static TraceRing& current() noexcept;
+  static TraceRing* exchange_current(TraceRing* ring) noexcept;
+
+  // Append the events currently held by `other`, oldest first, as if they
+  // had been record()ed here (so a disabled destination ring stays empty and
+  // wraparound accounting keeps working). Events already overwritten inside
+  // `other` are gone — the ring is bounded by design.
+  void merge(const TraceRing& other);
 
   void set_enabled(bool on) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
@@ -92,6 +104,19 @@ class TraceRing {
   std::size_t capacity_;
   std::uint64_t recorded_ = 0;
   std::vector<TraceEvent> ring_;
+};
+
+// RAII scope that makes `ring` the thread-current trace ring.
+class ScopedTraceRing {
+ public:
+  explicit ScopedTraceRing(TraceRing& ring)
+      : prev_(TraceRing::exchange_current(&ring)) {}
+  ~ScopedTraceRing() { TraceRing::exchange_current(prev_); }
+  ScopedTraceRing(const ScopedTraceRing&) = delete;
+  ScopedTraceRing& operator=(const ScopedTraceRing&) = delete;
+
+ private:
+  TraceRing* prev_;
 };
 
 }  // namespace lg::obs

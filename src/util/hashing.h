@@ -1,0 +1,17 @@
+// Hash composition helpers. std::hash gives good per-field hashes but no
+// guidance on combining them; plain XOR is an attractive nuisance (it is
+// symmetric and cancels correlated inputs — see the SessionPrefixKeyHash
+// regression test for a concrete collision family it produced).
+#pragma once
+
+#include <cstddef>
+
+namespace lg::util {
+
+// Boost-style combine with the 64-bit golden-ratio constant: asymmetric in
+// (seed, v), so field order matters and correlated fields no longer cancel.
+constexpr std::size_t hash_combine(std::size_t seed, std::size_t v) noexcept {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace lg::util

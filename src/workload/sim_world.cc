@@ -9,7 +9,7 @@ namespace lg::workload {
 SimWorld::SimWorld(SimWorldConfig cfg)
     : topo_(topo::generate_topology(cfg.topology)),
       resp_(cfg.responsiveness) {
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   c_sched_executed_ = &reg.counter("lg.scheduler.events_executed");
   g_sched_queue_hwm_ = &reg.gauge("lg.scheduler.queue_depth_hwm");
   engine_ = std::make_unique<bgp::BgpEngine>(topo_.graph, sched_, cfg.engine);

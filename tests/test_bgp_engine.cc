@@ -2,8 +2,12 @@
 // horizon, export policy, counters, and observer plumbing.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+
 #include "bgp/collector.h"
 #include "bgp/engine.h"
+#include "obs/metrics.h"
 #include "topology/addressing.h"
 #include "topology/generator.h"
 #include "util/scheduler.h"
@@ -47,7 +51,7 @@ TEST_F(EngineTest, EveryPathIsLoopFree) {
     if (const auto* r = engine_.best_route(as, prefix)) {
       EXPECT_EQ(bgp::count_occurrences(r->path, as), 0u);
       // No duplicates at all in honest (non-crafted) paths.
-      auto sorted = r->path;
+      bgp::AsPath sorted = r->path;  // explicit copy: paths are shared/immutable
       std::sort(sorted.begin(), sorted.end());
       EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
     }
@@ -220,6 +224,71 @@ TEST_F(EngineTest, CountersResetCleanly) {
 
 TEST_F(EngineTest, UnknownSpeakerThrows) {
   EXPECT_THROW(engine_.speaker(4242), std::out_of_range);
+}
+
+TEST_F(EngineTest, ResetCountersZeroesObsCounters) {
+  // The engine in this fixture resolved its lg.bgp.* handles against the
+  // registry current at construction (the global one here). reset_counters()
+  // must zero those alongside the engine-local tallies, so a post-reset run
+  // report covers only the post-reset phase.
+  auto& reg = obs::MetricsRegistry::current();
+  const auto prefix = originate_default(topo_.o);
+  sched_.run();
+  ASSERT_GT(engine_.total_messages(), 0u);
+  ASSERT_GT(reg.counter("lg.bgp.updates_sent").value(), 0u);
+  ASSERT_GT(reg.counter("lg.bgp.updates_delivered").value(), 0u);
+
+  engine_.reset_counters();
+  EXPECT_EQ(engine_.total_messages(), 0u);
+  EXPECT_EQ(reg.counter("lg.bgp.updates_sent").value(), 0u);
+  EXPECT_EQ(reg.counter("lg.bgp.announces_sent").value(), 0u);
+  EXPECT_EQ(reg.counter("lg.bgp.withdrawals_sent").value(), 0u);
+  EXPECT_EQ(reg.counter("lg.bgp.updates_delivered").value(), 0u);
+  EXPECT_EQ(reg.counter("lg.bgp.mrai_deferrals").value(), 0u);
+  EXPECT_EQ(reg.counter("lg.bgp.best_path_changes").value(), 0u);
+
+  // Counters keep counting after the reset (handles stayed valid).
+  engine_.withdraw(topo_.o, prefix);
+  sched_.run();
+  EXPECT_GT(reg.counter("lg.bgp.updates_sent").value(), 0u);
+  EXPECT_EQ(reg.counter("lg.bgp.updates_sent").value(),
+            engine_.total_messages());
+}
+
+TEST(SessionPrefixKeyHashTest, HashCombineBreaksXorCollisionFamily) {
+  // The pre-hash_combine implementation was
+  //   H(session) ^ (PrefixHash(prefix) * 0x9e3779b97f4a7c15)
+  // which collides deterministically for any pair of keys whose session
+  // hashes differ by exactly the XOR of the two prefix terms. Build such a
+  // pair and check the shipped hash separates it.
+  using Key = bgp::BgpEngine::SessionPrefixKey;
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  const auto old_hash = [&](const Key& k) {
+    return std::hash<std::uint64_t>{}(k.session) ^
+           (topo::PrefixHash{}(k.prefix) * kGolden);
+  };
+
+  const topo::Prefix p1(0x0a000000u, 24);
+  const topo::Prefix p2(0x0a000100u, 24);
+  const std::uint64_t m1 = topo::PrefixHash{}(p1) * kGolden;
+  const std::uint64_t m2 = topo::PrefixHash{}(p2) * kGolden;
+
+  const std::uint64_t s1 = (77ull << 32) | 42ull;
+  const Key k1{s1, p1};
+  // libstdc++'s std::hash<uint64_t> is the identity, so this session value
+  // makes the old hash collide with k1 by construction.
+  const Key k2{s1 ^ m1 ^ m2, p2};
+  ASSERT_NE(k1, k2);
+  ASSERT_EQ(old_hash(k1), old_hash(k2)) << "collision premise broken";
+
+  const bgp::BgpEngine::SessionPrefixKeyHash h;
+  EXPECT_NE(h(k1), h(k2));
+
+  // And distinct sane keys (same session, different prefixes — the MRAI
+  // map's common case) keep distinct hashes too.
+  const Key a{s1, p1};
+  const Key b{s1, p2};
+  EXPECT_NE(h(a), h(b));
 }
 
 }  // namespace
