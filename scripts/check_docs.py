@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks, run by the docs CI job.
+
+1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
+   PAPER.md, ROADMAP.md, and docs/*.md must resolve to an existing file
+   (external http(s)/mailto links and pure #anchors are skipped).
+2. Every src/<subsystem>/ directory must appear in the module map of
+   docs/ARCHITECTURE.md, so the architecture doc cannot silently rot as
+   subsystems are added.
+
+Exit status 0 = clean, 1 = problems (each printed on its own line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "PAPER.md",
+             "ROADMAP.md"]
+ARCHITECTURE = REPO / "docs" / "ARCHITECTURE.md"
+
+# [text](target) — excluding images' leading ! is unnecessary: image targets
+# must exist too. Nested brackets in link text are out of scope.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_links(path: Path) -> list:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    in_code = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]  # strip in-file anchors
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: broken link -> "
+                    f"{match.group(1)}")
+    return problems
+
+
+def check_module_map() -> list:
+    if not ARCHITECTURE.exists():
+        return ["docs/ARCHITECTURE.md is missing"]
+    text = ARCHITECTURE.read_text(encoding="utf-8")
+    problems = []
+    for sub in sorted(p.name for p in (REPO / "src").iterdir() if p.is_dir()):
+        if f"`src/{sub}/`" not in text:
+            problems.append(
+                f"docs/ARCHITECTURE.md: module map has no `src/{sub}/` entry")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    targets = [REPO / name for name in DOC_FILES]
+    targets += sorted((REPO / "docs").glob("*.md"))
+    for path in targets:
+        if path.exists():
+            problems.extend(check_links(path))
+        else:
+            problems.append(f"expected documentation file missing: "
+                            f"{path.relative_to(REPO)}")
+    problems.extend(check_module_map())
+
+    for p in problems:
+        print(p)
+    if not problems:
+        print(f"docs OK: {len(targets)} files link-checked, "
+              f"module map covers all of src/")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

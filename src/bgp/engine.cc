@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "faults/fault_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,6 +20,7 @@ BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
   c_mrai_deferrals_ = &reg.counter("lg.bgp.mrai_deferrals");
   c_best_path_changes_ = &reg.counter("lg.bgp.best_path_changes");
   trace_ = &obs::TraceRing::current();
+  faults_ = &faults::FaultPlane::current();
   for (const AsId id : graph.as_ids()) {
     speakers_.emplace(id, BgpSpeaker(id, graph, SpeakerConfig{}));
   }
@@ -95,6 +97,16 @@ void BgpEngine::try_send(AsId from, AsId to, const Prefix& prefix) {
 
 void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
                          MraiState& mrai) {
+  // Fault plane: a reset session sends nothing. Retry once it is back up —
+  // the diff against Adj-RIB-Out then sends whatever is current, so the
+  // control plane stays eventually consistent through the outage.
+  if (faults_->enabled() && !faults_->session_up(from, to, sched_->now())) {
+    faults_->note_session_hit(from, to, sched_->now());
+    const double up = faults_->session_restored_at(from, to, sched_->now());
+    sched_->at(up + 1e-3,
+               [this, from, to, prefix] { try_send(from, to, prefix); });
+    return;
+  }
   BgpSpeaker& sender = speaker(from);
   const auto current = sender.export_path(prefix, to);
   const auto* last = sender.last_advertised(prefix, to);
@@ -118,6 +130,18 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
     }
     msg.type = MsgType::kWithdraw;
   }
+  // Fault plane: decide loss BEFORE recording the Adj-RIB-Out. A lost update
+  // must leave adj-out untouched, or the retransmit scheduled here would see
+  // "already advertised" and never re-send.
+  if (faults_->enabled() && faults_->lose_update(from, to, sched_->now())) {
+    mrai.ready_at = sched_->now() + mrai_for(from);
+    ++total_messages_;
+    ++sent_by_[from];
+    c_updates_sent_->inc();
+    sched_->after(faults_->config().update_retransmit_seconds,
+                  [this, from, to, prefix] { try_send(from, to, prefix); });
+    return;
+  }
   sender.record_advertised(prefix, to, current);
   mrai.ready_at = sched_->now() + mrai_for(from);
 
@@ -131,14 +155,27 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
     c_withdrawals_sent_->inc();
     trace_->record(sched_->now(), obs::TraceKind::kWithdrawSent, from, to);
   }
+  double delay = link_delay();
+  if (faults_->enabled()) {
+    delay += faults_->update_delay(from, to, sched_->now());
+  }
   // Move the message into the delivery lambda: the path/communities buffers
   // built above transfer instead of being copied per in-flight update.
-  sched_->after(link_delay(),
-                [this, msg = std::move(msg)] { deliver(msg); });
+  sched_->after(delay, [this, msg = std::move(msg)] { deliver(msg); });
 }
 
 void BgpEngine::deliver(const UpdateMessage& msg) {
   const double now = sched_->now();
+  // Fault plane: the session reset while this update was in flight. Model
+  // TCP/session recovery by re-queueing delivery for when it comes back up;
+  // any newer state sent after restoration diffs against adj-out and
+  // supersedes this message shortly after.
+  if (faults_->enabled() && !faults_->session_up(msg.from, msg.to, now)) {
+    faults_->note_session_hit(msg.from, msg.to, now);
+    const double up = faults_->session_restored_at(msg.from, msg.to, now);
+    sched_->at(up + 1e-3, [this, msg] { deliver(msg); });
+    return;
+  }
   last_activity_ = now;
   c_updates_delivered_->inc();
   trace_->record(now, obs::TraceKind::kUpdateDelivered, msg.from, msg.to);

@@ -25,6 +25,10 @@ class Counter;
 class TraceRing;
 }  // namespace lg::obs
 
+namespace lg::faults {
+class FaultPlane;
+}  // namespace lg::faults
+
 namespace lg::bgp {
 
 struct EngineConfig {
@@ -133,6 +137,10 @@ class BgpEngine {
   util::Scheduler* sched_;
   EngineConfig cfg_;
   util::Rng rng_;
+  // Fault plane resolved at construction (faults::FaultPlane::current()).
+  // Disabled plane => every hook is one predictable branch; enabled plane
+  // injects session downtime, update loss (with retransmit), and delays.
+  faults::FaultPlane* faults_;
   std::unordered_map<AsId, BgpSpeaker> speakers_;
   std::unordered_map<SessionPrefixKey, MraiState, SessionPrefixKeyHash> mrai_;
   std::vector<RouteObserver*> observers_;

@@ -46,6 +46,7 @@ class PathAtlas {
   int refresh(measure::Prober& prober, const VantagePoint& vp, Ipv4 target,
               double now);
 
+  // Store one measured path for the pair (evicting beyond history_depth).
   void record_forward(const VantagePoint& vp, Ipv4 target, PathRecord record);
   void record_reverse(const VantagePoint& vp, Ipv4 target, PathRecord record);
 
@@ -57,7 +58,8 @@ class PathAtlas {
   const PathRecord* latest_forward(const VantagePoint& vp, Ipv4 target) const;
   const PathRecord* latest_reverse(const VantagePoint& vp, Ipv4 target) const;
 
-  // Responsiveness database.
+  // Responsiveness database: record that `router` answered a probe at `now`;
+  // ever_responded() distinguishes "unreachable" from "ignores ICMP".
   void note_response(RouterId router, double now);
   bool ever_responded(RouterId router) const;
 
@@ -66,6 +68,7 @@ class PathAtlas {
   std::vector<RouterId> candidate_routers(const VantagePoint& vp,
                                           Ipv4 target) const;
 
+  // Total refresh() rounds run, for rate accounting (§5.4).
   std::uint64_t refreshes() const noexcept { return refreshes_; }
 
  private:

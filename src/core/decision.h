@@ -54,6 +54,7 @@ class PoisonDecider {
   double alternate_path_fraction(AsId origin, AsId blamed,
                                  std::span<const AsId> sources) const;
 
+  // The shared policy-compliance oracle (exposed for harness reuse).
   const topo::ValleyFreeOracle& oracle() const noexcept { return oracle_; }
 
  private:

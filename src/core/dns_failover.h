@@ -34,6 +34,7 @@ class DnsFailoverMonitor {
         // announced as its own prefix here, not as a covering less-specific.
         alternate_(topo::AddressPlan::sentinel_unused_subprefix(origin)) {}
 
+  // The poisonable service prefix and the always-unpoisoned second prefix.
   const topo::Prefix& primary() const noexcept { return primary_; }
   const topo::Prefix& alternate() const noexcept { return alternate_; }
 
@@ -53,6 +54,7 @@ class DnsFailoverMonitor {
     poisoned_ = true;
   }
 
+  // Restore the primary prefix to the baseline announcement.
   void unpoison_primary() {
     engine_->originate(origin_, primary_, baseline_policy());
     poisoned_ = false;

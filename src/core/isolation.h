@@ -66,6 +66,12 @@ struct IsolationResult {
   double modeled_seconds = 0.0;
   // True when the target answered during isolation (transient problem).
   bool target_reachable = false;
+  // How much the verdict can be trusted, in [0, 1]. 1.0 on a clean
+  // measurement plane; scaled down by Lifeguard's probe-coverage estimate
+  // when vantage points are dropping out or probes are being lost — a
+  // widened confidence interval that the decision loop uses to defer
+  // poisoning instead of acting on thin evidence.
+  double confidence = 1.0;
 };
 
 class IsolationEngine {
@@ -74,6 +80,9 @@ class IsolationEngine {
                   IsolationConfig cfg = {})
       : prober_(&prober), atlas_(&atlas), cfg_(cfg) {}
 
+  // Run the full §4.1.2 procedure for vp's outage toward `target`: direction,
+  // blamed AS/link, the traceroute-only counterfactual, and probe/latency
+  // cost accounting. Reentrant per call; mutates only the atlas.
   IsolationResult isolate(const VantagePoint& vp, Ipv4 target,
                           std::span<const VantagePoint> helpers);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/fault_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -49,9 +50,44 @@ Lifeguard::Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
   c_selective_poisons_ = &reg.counter("lg.lifeguard.selective_poisons_applied");
   c_egress_shifts_ = &reg.counter("lg.lifeguard.egress_shifts_applied");
   c_repairs_completed_ = &reg.counter("lg.lifeguard.repairs_completed");
+  c_decisions_deferred_ = &reg.counter("lg.lifeguard.decisions_deferred");
+  g_probe_coverage_ = &reg.gauge("lg.lifeguard.probe_coverage");
   d_time_to_repair_ = &reg.distribution("lg.lifeguard.time_to_repair");
   d_time_to_remediate_ = &reg.distribution("lg.lifeguard.time_to_remediate");
   trace_ = &obs::TraceRing::current();
+  faults_ = &faults::FaultPlane::current();
+}
+
+bool Lifeguard::degraded() const noexcept {
+  return faults_->enabled() &&
+         probe_coverage_ < cfg_.degradation.coverage_floor;
+}
+
+bool Lifeguard::monitored_ping(topo::Ipv4 addr) {
+  if (!faults_->enabled()) return prober_->ping(vp_.as, addr, vp_.addr).replied;
+  return prober_->ping_with_retry(vp_.as, addr, vp_.addr,
+                                  cfg_.degradation.retry)
+      .result.replied;
+}
+
+void Lifeguard::coverage_round(double now) {
+  if (helpers_.empty()) return;
+  // Control probes: each helper pings our own (known-announced) address. A
+  // silent helper means its VP is down, its probes are being eaten, or it
+  // cannot reach us — all reasons to distrust outage evidence this round.
+  int answered = 0;
+  for (const auto& helper : helpers_) {
+    if (prober_->ping(helper.as, vp_.addr, helper.addr).replied) ++answered;
+  }
+  const double sample =
+      static_cast<double>(answered) / static_cast<double>(helpers_.size());
+  const double a = cfg_.degradation.coverage_alpha;
+  probe_coverage_ = a * sample + (1.0 - a) * probe_coverage_;
+  g_probe_coverage_->set(probe_coverage_);
+  if (probe_coverage_ < cfg_.degradation.coverage_floor) {
+    trace_->record(now, obs::TraceKind::kCoverageDegraded, vp_.as, 0,
+                   probe_coverage_);
+  }
 }
 
 void Lifeguard::set_state(TargetCtx& target, TargetState state) {
@@ -94,6 +130,13 @@ void Lifeguard::atlas_round() {
 
 void Lifeguard::ping_round() {
   const double now = sched_->now();
+  if (faults_->enabled()) coverage_round(now);
+  // While coverage is degraded, require extra consecutive failures before
+  // declaring an outage: probe loss looks exactly like unreachability, and
+  // poisoning on bad evidence is worse than reacting a round or two late.
+  const int threshold =
+      cfg_.fail_threshold +
+      (degraded() ? cfg_.degradation.degraded_extra_failures : 0);
   for (auto& target : targets_) {
     if (target.state == TargetState::kRemediated ||
         target.state == TargetState::kIsolating ||
@@ -101,8 +144,7 @@ void Lifeguard::ping_round() {
       continue;  // handled by their own continuations
     }
     // The paper sends ping pairs; one success counts.
-    const bool ok = prober_->ping(vp_.as, target.addr, vp_.addr).replied ||
-                    prober_->ping(vp_.as, target.addr, vp_.addr).replied;
+    const bool ok = monitored_ping(target.addr) || monitored_ping(target.addr);
     if (ok) {
       target.consecutive_failures = 0;
       target.first_failure_at = -1.0;
@@ -110,7 +152,7 @@ void Lifeguard::ping_round() {
     }
     if (target.consecutive_failures == 0) target.first_failure_at = now;
     ++target.consecutive_failures;
-    if (target.consecutive_failures >= cfg_.fail_threshold) {
+    if (target.consecutive_failures >= threshold) {
       on_threshold(target);
     }
   }
@@ -130,6 +172,12 @@ void Lifeguard::on_threshold(TargetCtx& target) {
   record.detected_at = now;
   record.isolation = isolation_.isolate(vp_, target.addr, helpers_);
   record.isolated_at = now + record.isolation.modeled_seconds;
+  if (faults_->enabled()) {
+    // Thin probe coverage widens the verdict's confidence interval: the
+    // decision loop treats low-confidence isolations as deferrable evidence.
+    record.isolation.confidence =
+        std::min(record.isolation.confidence, probe_coverage_);
+  }
   switch (record.isolation.direction) {
     case FailureDirection::kForward:
       c_isolations_forward_->inc();
@@ -177,6 +225,21 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
     set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
+    return;
+  }
+
+  // Graceful degradation: while probe coverage is below the floor, the
+  // isolation verdict rests on evidence we do not trust enough to poison on.
+  // Defer and re-decide, up to max_defer_seconds past detection — after that
+  // act on what we have rather than leave the outage unrepaired forever.
+  if (degraded() &&
+      now - record.detected_at < cfg_.degradation.max_defer_seconds) {
+    c_decisions_deferred_->inc();
+    trace_->record(now, obs::TraceKind::kDecisionDeferred, addr, 0,
+                   probe_coverage_);
+    set_state(*target, TargetState::kAwaitingAge);
+    sched_->after(cfg_.degradation.defer_retry_seconds,
+                  [this, addr] { decision_point(addr); });
     return;
   }
 

@@ -32,10 +32,36 @@
 namespace lg::obs {
 class Counter;
 class Distribution;
+class Gauge;
 class TraceRing;
 }  // namespace lg::obs
 
+namespace lg::faults {
+class FaultPlane;
+}  // namespace lg::faults
+
 namespace lg::core {
+
+// Graceful degradation under a faulty measurement plane (lg::faults). All of
+// this is inert unless a FaultPlane is enabled for the run: with faults off,
+// Lifeguard issues exactly the probes it always did.
+struct DegradationConfig {
+  // EWMA probe coverage (fraction of helper control probes answered) below
+  // which the decision loop treats its own evidence as degraded.
+  double coverage_floor = 0.6;
+  // EWMA weight of the newest coverage sample.
+  double coverage_alpha = 0.3;
+  // Extra consecutive failed rounds required before declaring an outage
+  // while degraded (absorbs probe loss masquerading as failure).
+  int degraded_extra_failures = 2;
+  // While degraded, poisoning decisions are deferred and re-evaluated every
+  // defer_retry_seconds, up to max_defer_seconds past detection; after that
+  // Lifeguard acts on the evidence it has rather than never repairing.
+  double defer_retry_seconds = 60.0;
+  double max_defer_seconds = 600.0;
+  // Retry schedule for monitoring pings while the fault plane is enabled.
+  measure::RetryPolicy retry;
+};
 
 struct LifeguardConfig {
   double ping_interval = 30.0;
@@ -45,6 +71,7 @@ struct LifeguardConfig {
   DecisionConfig decision;
   IsolationConfig isolation;
   RemediatorConfig remediation;
+  DegradationConfig degradation;
 };
 
 enum class RepairAction : std::uint8_t {
@@ -76,7 +103,10 @@ class Lifeguard {
   Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
             measure::Prober& prober, AsId origin, LifeguardConfig cfg = {});
 
+  // Begin monitoring `addr` (effective immediately if start() already ran).
   void add_target(topo::Ipv4 addr);
+  // PlanetLab-like helper vantage points used for spoofed-probe direction
+  // isolation and (under faults) probe-coverage estimation.
   void set_helpers(std::vector<VantagePoint> helpers) {
     helpers_ = std::move(helpers);
   }
@@ -84,11 +114,18 @@ class Lifeguard {
   // Announce baseline prefixes and begin the monitoring loops.
   void start();
 
+  // Every outage seen so far, open or closed, in detection order.
   const std::vector<OutageRecord>& outages() const noexcept { return records_; }
   PathAtlas& atlas() noexcept { return atlas_; }
   Remediator& remediator() noexcept { return remediator_; }
+  // The origin-side vantage point monitoring probes are issued from.
   const VantagePoint& vantage() const noexcept { return vp_; }
+  // True while a poison / selective poison / egress shift is in effect.
   bool is_remediating() const noexcept { return active_record_.has_value(); }
+  // EWMA fraction of helper control probes answered (1.0 on a clean plane).
+  double probe_coverage() const noexcept { return probe_coverage_; }
+  // True when a fault plane is enabled and coverage is below the floor.
+  bool degraded() const noexcept;
 
  private:
   enum class TargetState : std::uint8_t {
@@ -107,6 +144,12 @@ class Lifeguard {
   };
 
   void ping_round();
+  // Control probes against the helper set to estimate probe coverage; only
+  // runs when the fault plane is enabled.
+  void coverage_round(double now);
+  // One monitoring ping, retried per the degradation policy when faults are
+  // enabled, a single classic ping otherwise.
+  bool monitored_ping(topo::Ipv4 addr);
   void atlas_round();
   void set_state(TargetCtx& target, TargetState state);
   void on_threshold(TargetCtx& target);
@@ -137,6 +180,10 @@ class Lifeguard {
   std::vector<VantagePoint> helpers_;
   std::vector<TargetCtx> targets_;
   std::vector<OutageRecord> records_;
+  // Fault plane resolved at construction; degradation is active only when
+  // it is enabled, so fault-free runs are byte-identical to before.
+  faults::FaultPlane* faults_;
+  double probe_coverage_ = 1.0;
   // Index of the record currently holding a remediation (one at a time —
   // the deployment poisons one prefix per problem).
   std::optional<std::size_t> active_record_;
@@ -154,6 +201,8 @@ class Lifeguard {
   obs::Counter* c_selective_poisons_;
   obs::Counter* c_egress_shifts_;
   obs::Counter* c_repairs_completed_;
+  obs::Counter* c_decisions_deferred_;
+  obs::Gauge* g_probe_coverage_;
   obs::Distribution* d_time_to_repair_;
   obs::Distribution* d_time_to_remediate_;
   obs::TraceRing* trace_;

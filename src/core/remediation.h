@@ -38,6 +38,7 @@ class Remediator {
   Remediator(bgp::BgpEngine& engine, AsId origin, RemediatorConfig cfg = {});
 
   AsId origin() const noexcept { return origin_; }
+  // The monitored /24 and its covering less-specific (from the address plan).
   const Prefix& production_prefix() const noexcept { return production_; }
   const Prefix& sentinel_prefix() const noexcept { return sentinel_; }
 
@@ -63,6 +64,7 @@ class Remediator {
   // Stop announcing both prefixes.
   void withdraw_all();
 
+  // The AS currently poisoned on the production prefix, if any.
   std::optional<AsId> current_poison() const noexcept { return poison_; }
   bool is_poisoned() const noexcept { return poison_.has_value(); }
 

@@ -38,6 +38,7 @@ class SentinelMonitor {
     return prober_->ping(origin_, core_addr, probe_source_).replied;
   }
 
+  // The sentinel-space address repair probes use as their reply target.
   topo::Ipv4 probe_source() const noexcept { return probe_source_; }
 
  private:

@@ -1,5 +1,8 @@
 #include "measure/probes.h"
 
+#include <cmath>
+
+#include "faults/fault_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -17,6 +20,11 @@ Prober::Prober(const dp::DataPlane& dataplane, Responsiveness& responsiveness)
   c_replies_ = &reg.counter("lg.measure.probe_replies");
   c_losses_ = &reg.counter("lg.measure.probe_losses");
   trace_ = &obs::TraceRing::current();
+  faults_ = &faults::FaultPlane::current();
+  // Retries only happen on a degraded plane; registering the counter lazily
+  // keeps fault-free bench reports byte-identical to the pre-faults layout.
+  c_retries_ =
+      faults_->enabled() ? &reg.counter("lg.measure.probe_retries") : nullptr;
 }
 
 // Responsiveness verdict bookkeeping shared by every ping flavour.
@@ -69,6 +77,15 @@ bool Prober::target_responds(Ipv4 addr) const {
 PingResult Prober::ping_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
                              std::optional<AsId> first_hop) {
   PingResult result;
+  if (faults_->enabled()) {
+    // A dropped-out vantage point sources nothing; a probe lost on the wire
+    // looks identical to an unreachable path from the prober's seat.
+    if (!faults_->vantage_up(src_as, sim_now())) {
+      faults_->note_vantage_hit(src_as, sim_now());
+      return result;
+    }
+    if (faults_->lose_probe(src_as, sim_now())) return result;
+  }
   result.forward = dp_->forward(src_as, dst, std::nullopt, first_hop);
   result.forward_delivered = result.forward.delivered();
   if (!result.forward_delivered) return result;
@@ -83,7 +100,39 @@ PingResult Prober::ping_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
   result.reverse = dp_->forward(result.forward.final_as, reply_to, responder);
   result.reverse_delivered = result.reverse.delivered();
   result.replied = result.reverse_delivered;
+  if (result.replied && faults_->enabled()) {
+    // Spoofed probes direct the reply at another vantage point; if *that* VP
+    // is down, the reply arrives at a dead listener and is never observed.
+    if (const auto rcv = topo::AddressPlan::owner_of(reply_to);
+        rcv && !faults_->vantage_up(*rcv, sim_now())) {
+      faults_->note_vantage_hit(*rcv, sim_now());
+      result.replied = false;
+    }
+  }
   return result;
+}
+
+RetriedPing Prober::ping_with_retry(AsId src_as, Ipv4 dst, Ipv4 reply_to,
+                                    const RetryPolicy& policy) {
+  RetriedPing out;
+  for (int i = 0; i < policy.max_attempts; ++i) {
+    if (i > 0 && c_retries_ != nullptr) c_retries_->inc();
+    out.result = ping(src_as, dst, reply_to);
+    ++out.attempts;
+    if (out.result.replied) return out;
+    // Responsiveness-aware budget: a target whose responder class never
+    // answers probes will not start answering on retry — give up after the
+    // first attempt rather than spending the whole retry budget on it.
+    if (out.result.forward_delivered && !out.result.responder_answered &&
+        !target_responds(dst)) {
+      return out;
+    }
+    if (i + 1 < policy.max_attempts) {
+      out.modeled_wait_seconds +=
+          policy.base_backoff_seconds * std::pow(policy.backoff_multiplier, i);
+    }
+  }
+  return out;
 }
 
 PingResult Prober::ping(AsId src_as, Ipv4 dst, Ipv4 reply_to) {
@@ -117,6 +166,11 @@ PingResult Prober::ping_via(AsId src_as, AsId first_hop, Ipv4 dst,
 TracerouteResult Prober::traceroute_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
                                          bool spoofed) {
   TracerouteResult result;
+  if (faults_->enabled() && !faults_->vantage_up(src_as, sim_now())) {
+    // VP down: no probes leave the box; the operator sees an empty trace.
+    faults_->note_vantage_hit(src_as, sim_now());
+    return result;
+  }
   const auto fwd = dp_->forward(src_as, dst);
   result.forward_status = fwd.status;
   result.true_hops = fwd.hops;
@@ -131,7 +185,9 @@ TracerouteResult Prober::traceroute_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
     ++counter;
     (spoofed ? c_spoofed_traceroute_probes_ : c_traceroute_probes_)->inc();
     const bool answers = resp_->router_responds(hop) && !resp_->rate_limited();
-    if (!answers) {
+    const bool lost =
+        faults_->enabled() && faults_->lose_probe(src_as, sim_now());
+    if (!answers || lost) {
       result.hops.push_back(std::nullopt);
       continue;
     }

@@ -32,6 +32,10 @@ class Counter;
 class TraceRing;
 }  // namespace lg::obs
 
+namespace lg::faults {
+class FaultPlane;
+}  // namespace lg::faults
+
 namespace lg::measure {
 
 using topo::AsId;
@@ -60,6 +64,22 @@ struct PingResult {
   bool responder_answered = false;
   dp::ForwardResult forward;
   dp::ForwardResult reverse;
+};
+
+// Retry schedule for ping_with_retry. Backoff is *modeled* (accumulated into
+// RetriedPing::modeled_wait_seconds), not simulated waiting — probes are
+// instantaneous in this model, so callers fold the wait into their own
+// modeled-time accounting.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double base_backoff_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+};
+
+struct RetriedPing {
+  PingResult result;  // first successful attempt, or the last one tried
+  int attempts = 0;
+  double modeled_wait_seconds = 0.0;  // sum of backoff gaps actually waited
 };
 
 struct TracerouteResult {
@@ -92,6 +112,16 @@ class Prober {
   // another vantage point's address).
   PingResult ping(AsId src_as, Ipv4 dst, Ipv4 reply_to);
   PingResult spoofed_ping(AsId src_as, Ipv4 dst, Ipv4 receiver_addr);
+
+  // Ping with bounded retry + exponential backoff, for probing through a
+  // lossy measurement plane (lg::faults probe loss / vantage dropout). The
+  // budget is responsiveness-aware: a target that is *deterministically*
+  // unresponsive (filtered class, never answers) aborts after one attempt
+  // instead of burning max_attempts probes on it. Deterministic under a
+  // fixed fault seed — retries consume the same per-source fault sequence
+  // regardless of thread count or wall-clock.
+  RetriedPing ping_with_retry(AsId src_as, Ipv4 dst, Ipv4 reply_to,
+                              const RetryPolicy& policy = {});
 
   // Ping with the echo request forced out via a specific neighbor of
   // src_as (egress selection; used to re-test a failed forward path after
@@ -129,6 +159,8 @@ class Prober {
   Responsiveness* resp_;
   ProbeBudget budget_;
   const util::Scheduler* clock_ = nullptr;
+  // Fault plane resolved at construction; disabled => hooks are one branch.
+  faults::FaultPlane* faults_;
 
   // Observability handles, resolved once at construction (see obs/metrics.h).
   obs::Counter* c_pings_;
@@ -138,6 +170,7 @@ class Prober {
   obs::Counter* c_option_probes_;
   obs::Counter* c_replies_;
   obs::Counter* c_losses_;
+  obs::Counter* c_retries_;
   obs::TraceRing* trace_;
 };
 

@@ -37,6 +37,22 @@ const char* trace_kind_name(TraceKind k) noexcept {
       return "repair_observed";
     case TraceKind::kRepairReverted:
       return "repair_reverted";
+    case TraceKind::kFaultUpdateDropped:
+      return "fault_update_dropped";
+    case TraceKind::kFaultUpdateDelayed:
+      return "fault_update_delayed";
+    case TraceKind::kFaultSessionDown:
+      return "fault_session_down";
+    case TraceKind::kFaultProbeDropped:
+      return "fault_probe_dropped";
+    case TraceKind::kFaultVantageDown:
+      return "fault_vantage_down";
+    case TraceKind::kChurnFlap:
+      return "churn_flap";
+    case TraceKind::kCoverageDegraded:
+      return "coverage_degraded";
+    case TraceKind::kDecisionDeferred:
+      return "decision_deferred";
   }
   return "?";
 }

@@ -36,6 +36,19 @@ enum class TraceKind : std::uint8_t {
   kEgressShifted,
   kRepairObserved,
   kRepairReverted,
+  // Fault plane (lg::faults). a/b = session endpoints or the affected AS;
+  // value = extra delay where applicable.
+  kFaultUpdateDropped,
+  kFaultUpdateDelayed,
+  kFaultSessionDown,
+  kFaultProbeDropped,
+  kFaultVantageDown,
+  // Background churn workload. a = flapping origin AS; b = 1 announce,
+  // 0 withdraw.
+  kChurnFlap,
+  // Graceful degradation. a = target/helper context, value = coverage.
+  kCoverageDegraded,
+  kDecisionDeferred,
 };
 
 const char* trace_kind_name(TraceKind k) noexcept;

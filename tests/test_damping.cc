@@ -109,6 +109,53 @@ TEST_F(DampingTest, ReuseDelayIsMonotoneInPenalty) {
   }
 }
 
+// Background churn on an unrelated prefix must not bleed penalty onto the
+// prefix LIFEGUARD is poisoning: damping state is per-(prefix, session), so
+// a flap storm elsewhere suppresses only the storm's own prefix, and the
+// paper-spaced poison cycle stays usable throughout.
+TEST_F(DampingTest, ChurnOnUnrelatedPrefixDoesNotSuppressPoisonedPrefix) {
+  enable_damping(topo_.b);
+  announce();
+  const auto churn_prefix = topo::AddressPlan::production_prefix(topo_.e);
+  const auto announce_e = [&] {
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::AsPath{topo_.e};
+    engine_.originate(topo_.e, churn_prefix, policy);
+  };
+  announce_e();
+  sched_.run();
+  ASSERT_NE(engine_.best_route(topo_.b, churn_prefix), nullptr);
+
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    // Poison while E's prefix flaps hard enough to trip B's damping.
+    bgp::OriginPolicy poisoned;
+    poisoned.default_path = bgp::poisoned_path(topo_.o, {topo_.a}, 3);
+    engine_.originate(topo_.o, prefix_, poisoned);
+    for (int i = 0; i < 3; ++i) {
+      engine_.withdraw(topo_.e, churn_prefix);
+      sched_.run(sched_.now() + 60.0);
+      announce_e();
+      sched_.run(sched_.now() + 60.0);
+    }
+    // The storm suppressed only its own prefix.
+    EXPECT_TRUE(engine_.speaker(topo_.b).is_suppressed(churn_prefix, topo_.a))
+        << "cycle " << cycle;
+    EXPECT_FALSE(engine_.speaker(topo_.b).is_suppressed(prefix_, topo_.o))
+        << "cycle " << cycle;
+    EXPECT_NE(engine_.best_route(topo_.b, prefix_), nullptr);
+    // Paper spacing before the unpoison half of the cycle.
+    sched_.run(sched_.now() + 5400.0);
+    announce();
+    sched_.run(sched_.now() + 5400.0);
+  }
+  // Poisoned prefix untouched by damping through both cycles; the churned
+  // prefix recovers once its penalty decays (damping is temporary).
+  EXPECT_FALSE(engine_.speaker(topo_.b).is_suppressed(prefix_, topo_.o));
+  EXPECT_NE(engine_.best_route(topo_.b, prefix_), nullptr);
+  EXPECT_FALSE(engine_.speaker(topo_.b).is_suppressed(churn_prefix, topo_.a));
+  EXPECT_NE(engine_.best_route(topo_.b, churn_prefix), nullptr);
+}
+
 TEST_F(DampingTest, PaperSpacingAvoidsSuppression) {
   // The paper's protocol: 90 minutes between poison/unpoison cycles. Two
   // updates per 5400 s decay far below the suppress threshold.
