@@ -21,6 +21,13 @@ BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
   c_best_path_changes_ = &reg.counter("lg.bgp.best_path_changes");
   trace_ = &obs::TraceRing::current();
   faults_ = &faults::FaultPlane::current();
+  // Only an enabled fault plane can lose updates or reorder deliveries, so
+  // only then do these counters exist — registering them unconditionally
+  // would add zero-valued rows to every fault-free run report.
+  if (faults_->enabled()) {
+    c_updates_lost_ = &reg.counter("lg.bgp.updates_lost");
+    c_updates_stale_dropped_ = &reg.counter("lg.bgp.updates_stale_dropped");
+  }
   for (const AsId id : graph.as_ids()) {
     speakers_.emplace(id, BgpSpeaker(id, graph, SpeakerConfig{}));
   }
@@ -118,6 +125,7 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
   msg.from = from;
   msg.to = to;
   msg.prefix = prefix;
+  msg.seq = ++mrai.next_seq;
   if (current) {
     msg.type = MsgType::kAnnounce;
     msg.path = current->path;
@@ -138,6 +146,11 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
     ++total_messages_;
     ++sent_by_[from];
     c_updates_sent_->inc();
+    // A lost update is neither an announce nor a withdrawal on the wire;
+    // book it under its own counter so sent == announces + withdrawals +
+    // lost stays an identity, and leave a trace of the eaten send.
+    c_updates_lost_->inc();
+    trace_->record(sched_->now(), obs::TraceKind::kUpdateLost, from, to);
     sched_->after(faults_->config().update_retransmit_seconds,
                   [this, from, to, prefix] { try_send(from, to, prefix); });
     return;
@@ -175,6 +188,25 @@ void BgpEngine::deliver(const UpdateMessage& msg) {
     const double up = faults_->session_restored_at(msg.from, msg.to, now);
     sched_->at(up + 1e-3, [this, msg] { deliver(msg); });
     return;
+  }
+  // Fault-plane requeues can reorder deliveries on a session: an update
+  // requeued across a reset lands at restored_at + 1e-3, the same instant
+  // the post-restore adj-out retransmit path uses, so without this check a
+  // stale announce could be applied after (or instead of) the fresh diff
+  // and pin the receiver to an outdated path until the next unrelated
+  // update. Sequence numbers are per-(session, prefix) and monotone at the
+  // sender, so anything at or below the last applied seq is superseded.
+  if (faults_->enabled()) {
+    const SessionPrefixKey key{
+        (static_cast<std::uint64_t>(msg.from) << 32) | msg.to, msg.prefix};
+    std::uint64_t& applied = delivered_seq_[key];
+    if (msg.seq <= applied) {
+      c_updates_stale_dropped_->inc();
+      trace_->record(now, obs::TraceKind::kStaleUpdateDropped, msg.from,
+                     msg.to);
+      return;
+    }
+    applied = msg.seq;
   }
   last_activity_ = now;
   c_updates_delivered_->inc();
@@ -236,6 +268,16 @@ void BgpEngine::reset_counters() {
   c_updates_delivered_->reset();
   c_mrai_deferrals_->reset();
   c_best_path_changes_->reset();
+  if (c_updates_lost_ != nullptr) c_updates_lost_->reset();
+  if (c_updates_stale_dropped_ != nullptr) c_updates_stale_dropped_->reset();
+}
+
+void BgpEngine::reexport_all() {
+  for (auto& [id, spk] : speakers_) {
+    for (const Prefix& prefix : spk.known_prefixes()) {
+      schedule_exports(id, prefix);
+    }
+  }
 }
 
 std::uint64_t BgpEngine::messages_sent_by(AsId as) const {

@@ -90,6 +90,12 @@ class BgpEngine {
     sched_->run(until);
   }
 
+  // Re-run the export path for every (speaker, prefix) pair. At a true
+  // quiesced fixpoint every export diff against Adj-RIB-Out is empty, so
+  // this sends zero messages — lg::check uses that as an idempotence
+  // invariant (total_messages() unchanged across the call + drain).
+  void reexport_all();
+
   // ---- Counters (resettable; used for U in Table 2 and §5.2) ----
   // Also zeroes this engine's lg.bgp.* counters in the metrics registry it
   // was constructed against, so per-phase run reports do not double-count
@@ -123,6 +129,9 @@ class BgpEngine {
   struct MraiState {
     double ready_at = 0.0;
     bool flush_scheduled = false;
+    // Monotone per-(session, prefix) send counter stamped into every
+    // UpdateMessage, so delivery can reject superseded in-flight updates.
+    std::uint64_t next_seq = 0;
   };
 
   void schedule_exports(AsId from, const Prefix& prefix);
@@ -143,6 +152,11 @@ class BgpEngine {
   faults::FaultPlane* faults_;
   std::unordered_map<AsId, BgpSpeaker> speakers_;
   std::unordered_map<SessionPrefixKey, MraiState, SessionPrefixKeyHash> mrai_;
+  // Highest sequence number applied per (session, prefix); only consulted
+  // and populated when the fault plane is enabled (the only source of
+  // delivery reordering), so fault-free runs never touch the map.
+  std::unordered_map<SessionPrefixKey, std::uint64_t, SessionPrefixKeyHash>
+      delivered_seq_;
   std::vector<RouteObserver*> observers_;
 
   std::uint64_t total_messages_ = 0;
@@ -158,6 +172,11 @@ class BgpEngine {
   obs::Counter* c_updates_delivered_;
   obs::Counter* c_mrai_deferrals_;
   obs::Counter* c_best_path_changes_;
+  // Fault-plane consequence counters; registered only when the plane is
+  // enabled (like lg.faults.*) so fault-free reports stay byte-identical.
+  // With them, the identity sent == announces + withdrawals + lost holds.
+  obs::Counter* c_updates_lost_ = nullptr;
+  obs::Counter* c_updates_stale_dropped_ = nullptr;
   obs::TraceRing* trace_;
 };
 

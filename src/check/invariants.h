@@ -1,0 +1,73 @@
+// lg::check — machine-checked invariants over a quiesced BGP engine.
+//
+// Every property LIFEGUARD's remediation mechanics depend on is audited
+// directly against engine state via the public speaker API:
+//  * route provenance  — a best route's first hop is the neighbor that
+//    advertised it and every real hop pair is graph-adjacent;
+//  * loop freedom      — no AS that enforces loop prevention sits on a best
+//    path that its own import filter should have rejected;
+//  * valley freedom    — the real (non-crafted) hop chain of every best path
+//    complies with Gao-Rexford export: each transit hop learned the route
+//    from a customer or forwards it to a customer;
+//  * poison absence    — an AS embedded (at or above its loop threshold) in
+//    every announced variant of a prefix holds no route for it, and no best
+//    path anywhere traverses it;
+//  * adj-out/rib-in    — what a sender's Adj-RIB-Out says it advertised is
+//    exactly what the neighbor's Adj-RIB-In holds (modulo the neighbor's
+//    import filter), i.e. no update was lost or applied stale;
+//  * FIB/LPM agreement — fib_lookup equals a naive longest-prefix scan over
+//    origin + best routes, including default-route fallback;
+//  * sentinel coverage — an AS with no route for a poisoned production
+//    prefix but a route for its covering sentinel forwards production
+//    traffic via the sentinel (the paper's captive-AS backup property);
+//  * export fixpoint   — at quiesce no (speaker, prefix, neighbor) has a
+//    pending diff between export_path and Adj-RIB-Out, so re-running the
+//    export step is idempotent.
+//
+// All checks are const queries: auditing cannot advance the scheduler,
+// consume randomness, or otherwise perturb the simulation, which is what
+// makes the opt-in LG_CHECK=1 audit safe inside determinism-sensitive
+// benches (see audit.h). Run only at quiescence — mid-convergence states
+// legitimately violate the consistency invariants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgp/engine.h"
+#include "topology/prefix.h"
+
+namespace lg::check {
+
+using topo::AsId;
+using topo::Prefix;
+
+struct Violation {
+  std::string invariant;  // short name, e.g. "valley_free"
+  std::string detail;     // human-readable context (AS, prefix, path)
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const bgp::BgpEngine& engine);
+
+  // Runs every audit below; empty result means the state is clean.
+  std::vector<Violation> check_all() const;
+
+  void check_route_provenance(std::vector<Violation>& out) const;
+  void check_loop_free(std::vector<Violation>& out) const;
+  void check_valley_free(std::vector<Violation>& out) const;
+  void check_poison_absence(std::vector<Violation>& out) const;
+  void check_adj_out_consistency(std::vector<Violation>& out) const;
+  void check_fib_lpm(std::vector<Violation>& out) const;
+  void check_sentinel_coverage(std::vector<Violation>& out) const;
+  void check_export_fixpoint(std::vector<Violation>& out) const;
+
+  // Every prefix any speaker has state for, sorted (the audit universe).
+  std::vector<Prefix> all_prefixes() const;
+
+ private:
+  const bgp::BgpEngine* engine_;
+};
+
+}  // namespace lg::check

@@ -1,0 +1,200 @@
+#include "check/reference_bgp.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lg::check {
+
+namespace {
+
+bgp::LearnedFrom learned_from_rel(topo::Rel rel) {
+  switch (rel) {
+    case topo::Rel::kCustomer:
+      return bgp::LearnedFrom::kCustomer;
+    case topo::Rel::kPeer:
+      return bgp::LearnedFrom::kPeer;
+    case topo::Rel::kProvider:
+      return bgp::LearnedFrom::kProvider;
+  }
+  return bgp::LearnedFrom::kProvider;
+}
+
+// Independent restatement of the decision order (local-pref desc, path
+// length asc, neighbor id asc) — intentionally not calling bgp::better_route
+// so a bug there cannot hide from the differential comparison.
+bool preferred(const RefRoute& a, const RefRoute& b) {
+  const int pa = bgp::local_pref(a.learned);
+  const int pb = bgp::local_pref(b.learned);
+  if (pa != pb) return pa > pb;
+  if (a.path.size() != b.path.size()) return a.path.size() < b.path.size();
+  return a.neighbor < b.neighbor;
+}
+
+}  // namespace
+
+ReferenceBgp::ReferenceBgp(const topo::AsGraph& graph) : graph_(&graph) {
+  for (const AsId id : graph.as_ids()) ases_[id];  // default state per AS
+}
+
+bgp::SpeakerConfig& ReferenceBgp::config(AsId as) { return ases_.at(as).cfg; }
+
+void ReferenceBgp::originate(AsId as, const Prefix& prefix,
+                             bgp::OriginPolicy policy) {
+  ases_.at(as).prefixes[prefix].origin = std::move(policy);
+}
+
+void ReferenceBgp::withdraw(AsId as, const Prefix& prefix) {
+  auto& st = ases_.at(as).prefixes;
+  if (const auto it = st.find(prefix); it != st.end()) {
+    it->second.origin.reset();
+  }
+}
+
+std::vector<Prefix> ReferenceBgp::prefixes() const {
+  std::vector<Prefix> out;
+  for (const auto& [id, st] : ases_) {
+    for (const auto& [p, ps] : st.prefixes) {
+      if (ps.origin && std::find(out.begin(), out.end(), p) == out.end()) {
+        out.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ReferenceBgp::import_ok(AsId as, AsId from,
+                             const bgp::AsPath& path) const {
+  const auto& cfg = ases_.at(as).cfg;
+  if (!cfg.loop_detection_disabled) {
+    const auto occurrences = static_cast<std::size_t>(
+        std::count(path.begin(), path.end(), as));
+    if (occurrences >= cfg.loop_threshold) return false;
+  }
+  if (cfg.reject_customer_routes_containing_my_peers &&
+      graph_->relationship(as, from) == topo::Rel::kCustomer) {
+    for (const AsId hop : path) {
+      if (graph_->relationship(as, hop) == topo::Rel::kPeer) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<RefRoute> ReferenceBgp::export_toward(
+    AsId from, AsId to, const Prefix& prefix) const {
+  const auto& st = ases_.at(from);
+  const auto it = st.prefixes.find(prefix);
+  if (it == st.prefixes.end()) return std::nullopt;
+  const PrefixState& ps = it->second;
+
+  if (ps.origin) {
+    const auto& path = ps.origin->path_for(to);
+    if (!path) return std::nullopt;
+    RefRoute out;
+    out.path.assign(path->begin(), path->end());
+    out.neighbor = from;
+    out.communities = ps.origin->communities;
+    out.avoid_hint = ps.origin->avoid_hint;
+    return out;
+  }
+
+  if (!ps.best) return std::nullopt;
+  const RefRoute& best = *ps.best;
+  if (best.neighbor == to) return std::nullopt;  // split horizon
+  const auto nrel = graph_->relationship(from, to);
+  if (!nrel) return std::nullopt;
+  const bool allowed = best.learned == bgp::LearnedFrom::kCustomer ||
+                       *nrel == topo::Rel::kCustomer;
+  if (!allowed) return std::nullopt;
+  RefRoute out;
+  out.path.reserve(best.path.size() + 1);
+  out.path.push_back(from);
+  out.path.insert(out.path.end(), best.path.begin(), best.path.end());
+  out.neighbor = from;
+  if (!st.cfg.strips_communities) out.communities = best.communities;
+  out.avoid_hint = best.avoid_hint;
+  return out;
+}
+
+std::optional<RefRoute> ReferenceBgp::decide(
+    const AsState& st, const std::map<AsId, RefRoute>& rib) const {
+  std::optional<bgp::AvoidHint> hint;
+  if (st.cfg.honors_avoid_hints) {
+    for (const auto& [n, r] : rib) {
+      if (r.avoid_hint) {
+        hint = r.avoid_hint;
+        break;
+      }
+    }
+  }
+  const RefRoute* pick = nullptr;
+  bool pick_flagged = false;
+  for (const auto& [n, r] : rib) {
+    const bool flagged = hint && bgp::path_hits_avoid_hint(r.path, *hint);
+    if (pick == nullptr || (pick_flagged && !flagged) ||
+        (pick_flagged == flagged && preferred(r, *pick))) {
+      pick = &r;
+      pick_flagged = flagged;
+    }
+  }
+  if (pick == nullptr) return std::nullopt;
+  return *pick;
+}
+
+bool ReferenceBgp::solve(std::size_t max_rounds) {
+  const std::vector<Prefix> all = prefixes();
+  // Drop state left over from withdrawn-only prefixes so best_route answers
+  // nullptr for them after re-solving.
+  for (auto& [id, st] : ases_) {
+    for (auto& [p, ps] : st.prefixes) {
+      if (!ps.origin) {
+        ps.rib_in.clear();
+        ps.best.reset();
+      }
+    }
+  }
+  for (rounds_ = 0; rounds_ < max_rounds; ++rounds_) {
+    // Phase 1: every advertisement for this round, computed entirely from
+    // the previous round's bests (held in ases_ until phase 2 swaps).
+    std::map<AsId, std::map<Prefix, std::map<AsId, RefRoute>>> fresh;
+    for (const auto& [x, xst] : ases_) {
+      for (const auto& n : graph_->neighbors(x)) {
+        for (const Prefix& p : all) {
+          auto unit = export_toward(n.id, x, p);
+          if (!unit) continue;
+          if (!import_ok(x, n.id, unit->path)) continue;
+          unit->learned = learned_from_rel(n.rel);
+          fresh[x][p].emplace(n.id, std::move(*unit));
+        }
+      }
+    }
+    // Phase 2: install the fresh RIBs and rerun every decision process.
+    bool changed = false;
+    for (auto& [x, xst] : ases_) {
+      for (const Prefix& p : all) {
+        auto& ps = xst.prefixes[p];
+        auto& rib = fresh[x][p];
+        std::optional<RefRoute> best = decide(xst, rib);
+        if (ps.rib_in != rib) {
+          ps.rib_in = std::move(rib);
+        }
+        if (best != ps.best) {
+          ps.best = std::move(best);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;
+}
+
+const RefRoute* ReferenceBgp::best_route(AsId as, const Prefix& prefix) const {
+  const auto ait = ases_.find(as);
+  if (ait == ases_.end()) return nullptr;
+  const auto pit = ait->second.prefixes.find(prefix);
+  if (pit == ait->second.prefixes.end()) return nullptr;
+  return pit->second.best ? &*pit->second.best : nullptr;
+}
+
+}  // namespace lg::check

@@ -1,0 +1,107 @@
+// lg::check — deliberately naive reference BGP implementation.
+//
+// ReferenceBgp computes the converged routing state of a topology by
+// synchronous iteration to fixpoint: every round, each AS recomputes what it
+// would advertise to each neighbor from the *previous* round's best routes
+// (Jacobi iteration), every receiver re-imports those advertisements from
+// scratch, and every AS reruns the decision process. No scheduler, no MRAI,
+// no message queues, no Adj-RIB-Out diffing, no shared path buffers — every
+// mechanism the optimized bgp::BgpEngine uses to be fast or realistic is
+// deliberately absent, so the two implementations share no failure modes.
+//
+// Under Gao-Rexford preferences (prefer customer routes, export customer
+// routes to everyone and peer/provider routes only to customers) the stable
+// routing solution is unique, so the event-driven engine's quiesced state
+// and this synchronous fixpoint must agree exactly — that is the
+// differential oracle the scenario fuzzer drives (see fuzzer.h).
+//
+// Scope: models origin policies (including crafted/poisoned and selective
+// per-neighbor announcements), loop-prevention thresholds, the Cogent-style
+// customer/peer import filter, community stripping, and AVOID_PROBLEM hint
+// tiering. Flap damping is intentionally NOT modeled: damping makes the
+// converged state history-dependent, which has no synchronous-fixpoint
+// equivalent; differential scenarios must keep it disabled.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/speaker.h"
+#include "bgp/types.h"
+#include "topology/as_graph.h"
+#include "topology/prefix.h"
+
+namespace lg::check {
+
+using topo::AsId;
+using topo::Prefix;
+
+// A route as the reference tracks it: plain owned vectors, no PathRef.
+struct RefRoute {
+  bgp::AsPath path;
+  AsId neighbor = topo::kInvalidAs;
+  bgp::LearnedFrom learned = bgp::LearnedFrom::kLocal;
+  bgp::Communities communities;
+  std::optional<bgp::AvoidHint> avoid_hint;
+
+  friend bool operator==(const RefRoute&, const RefRoute&) = default;
+};
+
+class ReferenceBgp {
+ public:
+  explicit ReferenceBgp(const topo::AsGraph& graph);
+
+  // Per-AS policy knobs, honored subset: loop_threshold,
+  // loop_detection_disabled, reject_customer_routes_containing_my_peers,
+  // strips_communities, honors_avoid_hints. Mutate before solve().
+  bgp::SpeakerConfig& config(AsId as);
+
+  // (Re)announce / stop announcing `prefix` from `as`. The reference holds
+  // final policies only — event ordering is the engine's concern; the
+  // fixpoint is a pure function of the surviving policies.
+  void originate(AsId as, const Prefix& prefix, bgp::OriginPolicy policy);
+  void withdraw(AsId as, const Prefix& prefix);
+
+  // Iterate synchronous rounds until no best route changes. Returns false if
+  // the iteration has not stabilized within max_rounds (a policy set with no
+  // stable solution, or a bound set too low for the topology's diameter).
+  bool solve(std::size_t max_rounds = 256);
+  std::size_t rounds() const noexcept { return rounds_; }
+
+  // Converged best route of `as` for `prefix` (nullptr = no route). Valid
+  // after solve().
+  const RefRoute* best_route(AsId as, const Prefix& prefix) const;
+
+  // Every prefix announced by any origin, sorted.
+  std::vector<Prefix> prefixes() const;
+
+ private:
+  struct PrefixState {
+    std::map<AsId, RefRoute> rib_in;  // advertising neighbor -> route
+    std::optional<RefRoute> best;
+    std::optional<bgp::OriginPolicy> origin;
+  };
+  struct AsState {
+    bgp::SpeakerConfig cfg;
+    std::map<Prefix, PrefixState> prefixes;
+  };
+
+  // What `from` advertises to `to` for `prefix`, from current bests.
+  std::optional<RefRoute> export_toward(AsId from, AsId to,
+                                        const Prefix& prefix) const;
+  // Import filter of `as` for a path advertised by `from`.
+  bool import_ok(AsId as, AsId from, const bgp::AsPath& path) const;
+  // Decision process over a RIB (mirrors engine semantics, including the
+  // avoid-hint lower tier; the hint, if several routes carry one, is taken
+  // from the lowest advertising neighbor for determinism).
+  std::optional<RefRoute> decide(const AsState& st,
+                                 const std::map<AsId, RefRoute>& rib) const;
+
+  const topo::AsGraph* graph_;
+  std::map<AsId, AsState> ases_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace lg::check

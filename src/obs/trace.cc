@@ -53,6 +53,10 @@ const char* trace_kind_name(TraceKind k) noexcept {
       return "coverage_degraded";
     case TraceKind::kDecisionDeferred:
       return "decision_deferred";
+    case TraceKind::kUpdateLost:
+      return "update_lost";
+    case TraceKind::kStaleUpdateDropped:
+      return "stale_update_dropped";
   }
   return "?";
 }

@@ -49,6 +49,11 @@ enum class TraceKind : std::uint8_t {
   // Graceful degradation. a = target/helper context, value = coverage.
   kCoverageDegraded,
   kDecisionDeferred,
+  // Engine-side fault consequences. a = sender AS, b = receiver AS.
+  // An update counted as sent but eaten by the fault plane (retransmit
+  // scheduled), and a superseded in-flight update dropped at delivery.
+  kUpdateLost,
+  kStaleUpdateDropped,
 };
 
 const char* trace_kind_name(TraceKind k) noexcept;

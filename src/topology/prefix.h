@@ -26,17 +26,21 @@ std::optional<Ipv4> parse_ipv4(const std::string& s);
 class Prefix {
  public:
   constexpr Prefix() noexcept = default;
-  // Constructs addr/len with host bits cleared.
+  // Constructs addr/len with host bits cleared. Lengths beyond 32 are
+  // clamped to 32 (a full host route), both here and in mask().
   constexpr Prefix(Ipv4 addr, std::uint8_t len) noexcept
-      : addr_(len == 0 ? 0 : (addr & mask(len))), len_(len > 32 ? 32 : len) {}
+      : addr_(addr & mask(len)), len_(len > 32 ? 32 : len) {}
 
   static std::optional<Prefix> parse(const std::string& cidr);
 
   constexpr Ipv4 addr() const noexcept { return addr_; }
   constexpr std::uint8_t length() const noexcept { return len_; }
 
+  // mask(0) == 0, mask(32) == ~0; out-of-range lengths clamp to 32 so the
+  // shift count stays in [0, 32) for every input (a shift by a negative or
+  // >= width amount is undefined behavior).
   static constexpr Ipv4 mask(std::uint8_t len) noexcept {
-    return len == 0 ? 0 : ~Ipv4{0} << (32 - len);
+    return len == 0 ? 0 : ~Ipv4{0} << (32 - (len > 32 ? 32 : len));
   }
 
   constexpr bool contains(Ipv4 ip) const noexcept {
@@ -84,10 +88,14 @@ class PrefixTable {
   void insert(const Prefix& p, T value) {
     auto [it, inserted] = entries_.try_emplace(p, std::move(value));
     if (!inserted) it->second = std::move(value);
-    if (!present_[p.length()]) present_[p.length()] = true;
+    if (inserted) ++count_[p.length()];
   }
 
-  bool erase(const Prefix& p) { return entries_.erase(p) != 0; }
+  bool erase(const Prefix& p) {
+    if (entries_.erase(p) == 0) return false;
+    --count_[p.length()];
+    return true;
+  }
 
   const T* exact(const Prefix& p) const {
     const auto it = entries_.find(p);
@@ -102,7 +110,7 @@ class PrefixTable {
   // value, or nullopt if nothing covers `ip`.
   std::optional<std::pair<Prefix, const T*>> lookup(Ipv4 ip) const {
     for (int len = 32; len >= 0; --len) {
-      if (!present_[len]) continue;
+      if (count_[len] == 0) continue;
       const Prefix candidate(ip, static_cast<std::uint8_t>(len));
       const auto it = entries_.find(candidate);
       if (it != entries_.end()) return {{candidate, &it->second}};
@@ -113,12 +121,20 @@ class PrefixTable {
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
 
+  // True if lookup() still probes this prefix length. Erasing the last entry
+  // of a length must clear it, or every future lookup keeps paying a hash
+  // probe for a length with no entries.
+  bool has_length(std::uint8_t len) const noexcept {
+    return len <= 32 && count_[len] != 0;
+  }
+
   auto begin() const { return entries_.begin(); }
   auto end() const { return entries_.end(); }
 
  private:
   std::unordered_map<Prefix, T, PrefixHash> entries_;
-  bool present_[33] = {};
+  // Live entries per prefix length; lookup() skips zero-count lengths.
+  std::uint32_t count_[33] = {};
 };
 
 }  // namespace lg::topo

@@ -10,6 +10,7 @@
 
 #include "bgp/collector.h"
 #include "bgp/engine.h"
+#include "check/audit.h"
 #include "dataplane/failures.h"
 #include "dataplane/forwarding.h"
 #include "dataplane/router_net.h"
@@ -55,10 +56,12 @@ class SimWorld {
   // gives the AS's hosts an address other networks can reply to.
   void announce_production(AsId as);
 
-  // Drain the scheduler: BGP quiesces.
+  // Drain the scheduler: BGP quiesces. With LG_CHECK=1 the quiesced state
+  // is audited against every lg::check invariant (no-op otherwise).
   void converge() {
     sched_.run();
     publish_scheduler_metrics();
+    check::maybe_audit(*engine_, "SimWorld::converge");
   }
   // Advance simulated time by `seconds`, executing due events.
   void advance(double seconds) {

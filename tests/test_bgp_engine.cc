@@ -7,6 +7,7 @@
 
 #include "bgp/collector.h"
 #include "bgp/engine.h"
+#include "check/audit.h"
 #include "obs/metrics.h"
 #include "topology/addressing.h"
 #include "topology/generator.h"
@@ -28,6 +29,11 @@ class EngineTest : public ::testing::Test {
     policy.default_path = AsPath{as};
     engine_.originate(as, prefix, policy);
     return prefix;
+  }
+
+  ~EngineTest() override {
+    // Opt-in audit of whatever state the test ended in, when quiesced.
+    if (sched_.empty()) check::maybe_audit(engine_, "EngineTest teardown");
   }
 
   topo::Fig2Topology topo_;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "bgp/engine.h"
+#include "check/audit.h"
 #include "core/remediation.h"
 #include "topology/addressing.h"
 #include "topology/generator.h"
@@ -24,6 +25,7 @@ class Fig2Test : public ::testing::Test {
   void announce_and_converge() {
     remediator_.announce_baseline();
     sched_.run();
+    check::maybe_audit(engine_, "fig2 baseline");
   }
 
   const bgp::Route* route_of(topo::AsId as) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bgp/engine.h"
+#include "check/audit.h"
 #include "core/remediation.h"
 #include "topology/generator.h"
 #include "util/scheduler.h"
@@ -21,6 +22,7 @@ class Fig3Test : public ::testing::Test {
         remediator_(engine_, topo_.o) {
     remediator_.announce_baseline();
     sched_.run();
+    check::maybe_audit(engine_, "fig3 baseline");
   }
 
   const bgp::Route* route_of(AsId as) {

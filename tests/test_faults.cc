@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "bgp/engine.h"
+#include "check/invariants.h"
 #include "faults/fault_plane.h"
+#include "obs/metrics.h"
 #include "run/trial_runner.h"
 #include "topology/addressing.h"
 #include "topology/generator.h"
@@ -168,6 +170,127 @@ TEST(FaultPlane, BgpConvergesToCleanFixpointUnderFaults) {
     return paths;
   };
   EXPECT_EQ(best_paths(false), best_paths(true));
+}
+
+// Regression: a delayed in-flight announce must not overwrite newer state.
+// With an extra propagation delay larger than the session's MRAI, an old
+// announce can arrive AFTER the announce that superseded it; before
+// sequence-stamped deliveries the receiver would re-apply the stale path and
+// stay pinned to it (Adj-RIB-Out and the neighbor's RIB-in disagreeing)
+// until some unrelated update. Drive origin churn under heavy delay and
+// check sender/receiver consistency plus equality with the clean fixpoint
+// at quiescence.
+TEST(FaultPlane, StaleInFlightRedeliveryCannotPinOldRoutes) {
+  const auto best_paths = [](bool faulty) {
+    obs::MetricsRegistry reg;
+    obs::ScopedMetricsRegistry scoped_reg(reg);
+    faults::FaultConfig cfg;
+    cfg.enabled = faulty;
+    cfg.seed = 21;
+    cfg.update_delay_prob = 0.5;
+    cfg.update_delay_max_seconds = 25.0;  // far above the 2s MRAI below
+    faults::FaultPlane plane(cfg);
+    faults::ScopedFaultPlane scope(plane);
+
+    auto topo = topo::make_fig2_topology();
+    util::Scheduler sched;
+    bgp::EngineConfig ec;
+    ec.default_mrai = 2.0;
+    bgp::BgpEngine engine(topo.graph, sched, ec);
+    const auto prefix = topo::AddressPlan::production_prefix(topo.o);
+    // Alternate plain / poisoned / longer-prepended originations so every
+    // flap diffs against Adj-RIB-Out and sends, keeping updates in flight.
+    const std::vector<bgp::AsPath> paths = {
+        bgp::AsPath{topo.o},
+        bgp::poisoned_path(topo.o, {topo.a}, 3),
+        bgp::AsPath{topo.o, topo.o, topo.o},
+        bgp::AsPath{topo.o},
+    };
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      sched.at(static_cast<double>(i) * 3.0, [&engine, &topo, prefix,
+                                              path = paths[i]] {
+        bgp::OriginPolicy policy;
+        policy.default_path = path;
+        engine.originate(topo.o, prefix, policy);
+      });
+    }
+    sched.run();
+    EXPECT_TRUE(sched.empty());
+
+    // At quiescence every Adj-RIB-Out entry must match the neighbor's
+    // RIB-in — the invariant the stale redelivery broke.
+    std::vector<check::Violation> out;
+    check::InvariantChecker(engine).check_adj_out_consistency(out);
+    for (const auto& v : out) {
+      ADD_FAILURE() << "[" << v.invariant << "] " << v.detail;
+    }
+
+    // The scenario is only meaningful if deliveries really were reordered.
+    if (faulty) {
+      EXPECT_GT(reg.counter("lg.bgp.updates_stale_dropped").value(), 0u)
+          << "no stale redelivery occurred; the regression is untested";
+    }
+
+    std::vector<bgp::AsPath> result;
+    for (const AsId as : topo.graph.as_ids()) {
+      const auto* route = engine.best_route(as, prefix);
+      result.push_back(route != nullptr ? route->path.get() : bgp::AsPath{});
+    }
+    return result;
+  };
+  EXPECT_EQ(best_paths(false), best_paths(true));
+}
+
+// Regression: lost updates are booked under their own counter, keeping
+// sent == announces + withdrawals + lost an identity (a lost update is
+// neither kind on the wire; before the dedicated counter it silently
+// inflated `sent` and the identity was unverifiable).
+TEST(FaultPlane, LostUpdatesKeepTheSentCounterIdentity) {
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scoped_reg(reg);
+  faults::FaultConfig cfg = loss_only_config();
+  faults::FaultPlane plane(cfg);
+  faults::ScopedFaultPlane scope(plane);
+
+  auto topo = topo::make_fig2_topology();
+  util::Scheduler sched;
+  bgp::BgpEngine engine(topo.graph, sched);
+  const auto prefix = topo::AddressPlan::production_prefix(topo.o);
+  bgp::OriginPolicy policy;
+  policy.default_path = bgp::AsPath{topo.o};
+  engine.originate(topo.o, prefix, policy);
+  sched.run();
+  engine.withdraw(topo.o, prefix);
+  sched.run();
+
+  const std::uint64_t sent = reg.counter("lg.bgp.updates_sent").value();
+  const std::uint64_t lost = reg.counter("lg.bgp.updates_lost").value();
+  const std::uint64_t announces =
+      reg.counter("lg.bgp.announces_sent").value();
+  const std::uint64_t withdrawals =
+      reg.counter("lg.bgp.withdrawals_sent").value();
+  EXPECT_GT(lost, 0u) << "30% loss produced no lost update";
+  EXPECT_EQ(sent, announces + withdrawals + lost);
+}
+
+// Without an enabled fault plane the loss/stale counters must not even be
+// registered — fault-free run reports stay byte-identical.
+TEST(FaultPlane, FaultFreeRunsRegisterNoLossCounters) {
+  obs::MetricsRegistry reg;
+  obs::ScopedMetricsRegistry scoped_reg(reg);
+  auto topo = topo::make_fig2_topology();
+  util::Scheduler sched;
+  bgp::BgpEngine engine(topo.graph, sched);
+  bgp::OriginPolicy policy;
+  policy.default_path = bgp::AsPath{topo.o};
+  engine.originate(topo.o, topo::AddressPlan::production_prefix(topo.o),
+                   policy);
+  sched.run();
+  for (const auto* c : reg.counters()) {
+    EXPECT_NE(c->name(), "lg.bgp.updates_lost");
+    EXPECT_NE(c->name(), "lg.bgp.updates_stale_dropped");
+  }
+  EXPECT_GT(reg.counter("lg.bgp.updates_sent").value(), 0u);
 }
 
 TEST(FaultPlane, ProbeRetryIsDeterministicPerSeed) {

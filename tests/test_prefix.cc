@@ -29,10 +29,32 @@ TEST(PrefixTest, MaskValues) {
   EXPECT_EQ(Prefix::mask(32), 0xFFFFFFFFu);
 }
 
+TEST(PrefixTest, MaskClampsOutOfRangeLengths) {
+  // A shift by 32 - len with len > 32 is a negative shift count (UB); the
+  // clamp must happen inside mask(), not just in the Prefix constructor.
+  EXPECT_EQ(Prefix::mask(33), 0xFFFFFFFFu);
+  EXPECT_EQ(Prefix::mask(40), 0xFFFFFFFFu);
+  EXPECT_EQ(Prefix::mask(255), 0xFFFFFFFFu);
+}
+
 TEST(PrefixTest, ConstructorClearsHostBits) {
   const Prefix p(0x0A0000FF, 24);
   EXPECT_EQ(p.addr(), 0x0A000000u);
   EXPECT_EQ(p.length(), 24);
+}
+
+TEST(PrefixTest, ConstructorClampsOverlongLengthBeforeMasking) {
+  // The constructor must clamp len before computing the address mask —
+  // otherwise Prefix(addr, 33+) evaluates mask() with an invalid shift and
+  // the stored address is garbage on top of the UB.
+  const Prefix p(0x0A0000FF, 33);
+  EXPECT_EQ(p.length(), 32);
+  EXPECT_EQ(p.addr(), 0x0A0000FFu);
+  EXPECT_TRUE(p.contains(0x0A0000FF));
+  const Prefix q(0x0A0000FF, 200);
+  EXPECT_EQ(q.length(), 32);
+  EXPECT_EQ(q.addr(), 0x0A0000FFu);
+  EXPECT_EQ(p, q);
 }
 
 TEST(PrefixTest, ParseAndFormat) {
@@ -114,6 +136,43 @@ TEST(PrefixTableTest, InsertOverwritesAndEraseRemoves) {
   EXPECT_TRUE(table.erase(p));
   EXPECT_FALSE(table.erase(p));
   EXPECT_TRUE(table.empty());
+}
+
+TEST(PrefixTableTest, EraseClearsLengthProbe) {
+  PrefixTable<int> table;
+  const Prefix p(0x0A000000, 24);
+  table.insert(p, 1);
+  EXPECT_TRUE(table.has_length(24));
+  EXPECT_TRUE(table.erase(p));
+  // Erasing the last /24 entry must stop lookup() from probing length 24
+  // forever after; has_length() exposes the probe set directly.
+  EXPECT_FALSE(table.has_length(24));
+  EXPECT_FALSE(table.lookup(0x0A000001).has_value());
+}
+
+TEST(PrefixTableTest, EraseOneOfTwoSameLengthKeepsProbing) {
+  PrefixTable<int> table;
+  table.insert(Prefix(0x0A000000, 24), 1);
+  table.insert(Prefix(0x0A000100, 24), 2);
+  EXPECT_TRUE(table.erase(Prefix(0x0A000000, 24)));
+  EXPECT_TRUE(table.has_length(24));
+  const auto hit = table.lookup(0x0A000101);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 2);
+}
+
+TEST(PrefixTableTest, EraseThenReinsertLookupStillMatches) {
+  PrefixTable<int> table;
+  const Prefix p(0x0A000000, 24);
+  table.insert(p, 1);
+  table.insert(p, 2);  // overwrite, not a second entry
+  EXPECT_TRUE(table.erase(p));
+  EXPECT_FALSE(table.has_length(24));
+  table.insert(p, 3);
+  EXPECT_TRUE(table.has_length(24));
+  const auto hit = table.lookup(0x0A000001);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->second, 3);
 }
 
 TEST(PrefixTableTest, DefaultRouteMatchesEverything) {
