@@ -10,13 +10,75 @@
 #include <algorithm>
 #include <cstdio>
 #include <set>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/remediation.h"
+#include "run/trial_runner.h"
 #include "workload/sim_world.h"
 
 using namespace lg;
 using topo::AsId;
+
+namespace {
+
+// One trial of the reverse study: a fresh world (identical seed, so the
+// same topology and the same baseline routes) probing one chunk of feed
+// peers. Chunked worlds also mean each chunk's poison/unpoison churn cannot
+// leak route-flap damping penalties into another chunk's measurements.
+struct ReverseChunk {
+  std::size_t links = 0;
+  std::size_t avoidable = 0;
+  std::size_t peers_tested = 0;
+};
+
+ReverseChunk run_reverse_chunk(std::size_t first, std::size_t count) {
+  workload::SimWorldConfig cfg;
+  cfg.topology.num_mux_origins = 1;
+  cfg.topology.mux_provider_count = 5;
+  workload::SimWorld world(cfg);
+  const AsId origin = world.topology().mux_origins.front();
+  const auto providers = world.graph().providers(origin);
+
+  core::Remediator remediator(world.engine(), origin);
+  remediator.announce_baseline();
+  world.converge();
+
+  const auto feeds = world.feed_ases(60);
+  const auto& prefix = remediator.production_prefix();
+
+  ReverseChunk chunk;
+  for (std::size_t i = first; i < first + count && i < feeds.size(); ++i) {
+    const AsId feed = feeds[i];
+    const auto* before = world.engine().best_route(feed, prefix);
+    if (before == nullptr || before->path.empty()) continue;
+    const AsId original_first_hop = before->neighbor;
+    ++chunk.peers_tested;
+    ++chunk.links;  // the (feed -> original_first_hop) link
+
+    bool avoidable = false;
+    for (const AsId unpoisoned : providers) {
+      // Poison the *feed* AS via every provider except `unpoisoned`.
+      std::vector<AsId> poisoned_via;
+      for (const AsId p : providers) {
+        if (p != unpoisoned) poisoned_via.push_back(p);
+      }
+      remediator.selective_poison(feed, poisoned_via);
+      world.converge();
+      const auto* after = world.engine().best_route(feed, prefix);
+      if (after != nullptr && after->neighbor != original_first_hop) {
+        avoidable = true;
+      }
+      remediator.unpoison();
+      world.converge();
+      if (avoidable) break;
+    }
+    if (avoidable) ++chunk.avoidable;
+  }
+  return chunk;
+}
+
+}  // namespace
 
 int main() {
   bench::header("Section 5.2 selective poisoning + Section 2.3 forward study",
@@ -81,31 +143,23 @@ int main() {
   std::size_t rev_links = 0;
   std::size_t rev_avoidable = 0;
   std::size_t peers_tested = 0;
-  for (const AsId feed : feeds) {
-    const auto* before = world.engine().best_route(feed, prefix);
-    if (before == nullptr || before->path.empty()) continue;
-    const AsId original_first_hop = before->neighbor;
-    ++peers_tested;
-    ++rev_links;  // the (feed -> original_first_hop) link
-
-    bool avoidable = false;
-    for (const AsId unpoisoned : providers) {
-      // Poison the *feed* AS via every provider except `unpoisoned`.
-      std::vector<AsId> poisoned_via;
-      for (const AsId p : providers) {
-        if (p != unpoisoned) poisoned_via.push_back(p);
-      }
-      remediator.selective_poison(feed, poisoned_via);
-      world.converge();
-      const auto* after = world.engine().best_route(feed, prefix);
-      if (after != nullptr && after->neighbor != original_first_hop) {
-        avoidable = true;
-      }
-      remediator.unpoison();
-      world.converge();
-      if (avoidable) break;
+  {
+    constexpr std::size_t kChunk = 10;
+    const std::size_t chunks = (feeds.size() + kChunk - 1) / kChunk;
+    run::TrialRunner runner;
+    std::vector<ReverseChunk> results;
+    {
+      bench::WallClock wc("sec5_2_selective_poisoning", chunks,
+                          runner.threads());
+      results = runner.run(chunks, [&](run::TrialContext& ctx) {
+        return run_reverse_chunk(ctx.index * kChunk, kChunk);
+      });
     }
-    if (avoidable) ++rev_avoidable;
+    for (const ReverseChunk& chunk : results) {
+      rev_links += chunk.links;
+      rev_avoidable += chunk.avoidable;
+      peers_tested += chunk.peers_tested;
+    }
   }
   bench::kv("feed peers tested", std::to_string(peers_tested));
   bench::compare_row(

@@ -5,9 +5,11 @@
 //  * fraction of outages where LIFEGUARD's verdict differs from what
 //    traceroute alone would suggest (paper: 40%).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/isolation.h"
+#include "run/trial_runner.h"
 #include "workload/scenarios.h"
 #include "workload/sim_world.h"
 
@@ -25,15 +27,16 @@ struct Score {
   std::size_t traceroute_would_be_wrong = 0;
 };
 
-}  // namespace
+constexpr FailureDirection kDirections[] = {FailureDirection::kForward,
+                                            FailureDirection::kReverse,
+                                            FailureDirection::kBidirectional};
+constexpr const char* kNames[] = {"forward", "reverse", "bidirectional"};
+constexpr std::size_t kPerDirection = 61;  // ~183 total, as in the paper
 
-int main() {
-  bench::header("Section 5.3 / Table 1 'Accuracy'",
-                "Failure isolation vs ground truth and vs traceroute-only");
-  bench::JsonReport jr("sec5_3_accuracy");
-  jr->set_config("vantage_points", 12.0);
-  jr->set_config("failures_per_direction", 61.0);
-
+// One trial per failure direction: its own world (identical default seed,
+// so identical topology and routes) and its own scenario-generator stream.
+Score run_direction(int d) {
+  const FailureDirection direction = kDirections[d];
   workload::SimWorld world;
   const auto vp_ases = world.stub_vantage_ases(12);
   for (const AsId as : vp_ases) world.announce_production(as);
@@ -49,61 +52,73 @@ int main() {
 
   core::PathAtlas atlas;
   core::IsolationEngine engine(world.prober(), atlas);
-  workload::ScenarioGenerator gen(world, 777);
+  workload::ScenarioGenerator gen(world, 777 + static_cast<std::uint64_t>(d));
 
-  Score per_direction[3];
-  const FailureDirection directions[] = {FailureDirection::kForward,
-                                         FailureDirection::kReverse,
-                                         FailureDirection::kBidirectional};
-  const char* names[] = {"forward", "reverse", "bidirectional"};
-  const std::size_t kPerDirection = 61;  // ~183 total, as in the paper
-
-  for (int d = 0; d < 3; ++d) {
-    Score& score = per_direction[d];
-    for (const AsId target_as : world.topology().stubs) {
-      if (score.tested >= kPerDirection) break;
-      if (target_as == vp.as) continue;
-      auto scenario =
-          gen.make(vp.as, target_as, directions[d], false, witnesses);
-      if (!scenario) continue;
-      // Warm the atlas with the failure lifted (steady-state monitoring),
-      // then re-install it.
-      const auto failure_ids = scenario->failure_ids;
-      scenario->failure_ids.clear();
-      for (const auto id : failure_ids) world.failures().clear(id);
-      atlas.refresh(world.prober(), vp, scenario->target, 0.0);
-      switch (directions[d]) {
-        case FailureDirection::kForward:
-          scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
-              .at_as = scenario->culprit_as, .toward_as = target_as}));
-          break;
-        case FailureDirection::kReverse:
-          scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
-              .at_as = scenario->culprit_as, .toward_as = vp.as}));
-          break;
-        case FailureDirection::kBidirectional:
-          scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
-              .at_as = scenario->culprit_as, .toward_as = target_as}));
-          scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
-              .at_as = scenario->culprit_as, .toward_as = vp.as}));
-          break;
-        default:
-          break;
-      }
-
-      const auto result = engine.isolate(vp, scenario->target, helpers);
-      ++score.tested;
-      if (result.direction == directions[d]) ++score.direction_correct;
-      if (result.blamed_as == scenario->culprit_as) ++score.blame_correct;
-      if (result.traceroute_blame != result.blamed_as) {
-        ++score.traceroute_differs;
-        if (result.traceroute_blame != scenario->culprit_as) {
-          ++score.traceroute_would_be_wrong;
-        }
-      }
-      gen.repair(*scenario);
+  Score score;
+  for (const AsId target_as : world.topology().stubs) {
+    if (score.tested >= kPerDirection) break;
+    if (target_as == vp.as) continue;
+    auto scenario = gen.make(vp.as, target_as, direction, false, witnesses);
+    if (!scenario) continue;
+    // Warm the atlas with the failure lifted (steady-state monitoring),
+    // then re-install it.
+    const auto failure_ids = scenario->failure_ids;
+    scenario->failure_ids.clear();
+    for (const auto id : failure_ids) world.failures().clear(id);
+    atlas.refresh(world.prober(), vp, scenario->target, 0.0);
+    switch (direction) {
+      case FailureDirection::kForward:
+        scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
+            .at_as = scenario->culprit_as, .toward_as = target_as}));
+        break;
+      case FailureDirection::kReverse:
+        scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
+            .at_as = scenario->culprit_as, .toward_as = vp.as}));
+        break;
+      case FailureDirection::kBidirectional:
+        scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
+            .at_as = scenario->culprit_as, .toward_as = target_as}));
+        scenario->failure_ids.push_back(world.failures().inject(dp::Failure{
+            .at_as = scenario->culprit_as, .toward_as = vp.as}));
+        break;
+      default:
+        break;
     }
+
+    const auto result = engine.isolate(vp, scenario->target, helpers);
+    ++score.tested;
+    if (result.direction == direction) ++score.direction_correct;
+    if (result.blamed_as == scenario->culprit_as) ++score.blame_correct;
+    if (result.traceroute_blame != result.blamed_as) {
+      ++score.traceroute_differs;
+      if (result.traceroute_blame != scenario->culprit_as) {
+        ++score.traceroute_would_be_wrong;
+      }
+    }
+    gen.repair(*scenario);
   }
+  return score;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Section 5.3 / Table 1 'Accuracy'",
+                "Failure isolation vs ground truth and vs traceroute-only");
+  bench::JsonReport jr("sec5_3_accuracy");
+  jr->set_config("vantage_points", 12.0);
+  jr->set_config("failures_per_direction", 61.0);
+
+  run::TrialRunner runner;
+  std::vector<Score> per_direction;
+  {
+    bench::WallClock wc("sec5_3_accuracy", 3, runner.threads());
+    per_direction = runner.run(
+        3, [](run::TrialContext& ctx) {
+          return run_direction(static_cast<int>(ctx.index));
+        });
+  }
+  const char* const* names = kNames;
 
   bench::section("Per-direction results");
   std::printf("  %-15s %-8s %-12s %-12s %-14s\n", "direction", "tested",

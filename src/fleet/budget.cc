@@ -1,0 +1,69 @@
+#include "fleet/budget.h"
+
+#include <algorithm>
+
+namespace lg::fleet {
+
+TokenBucket::TokenBucket(double rate_per_second, double burst)
+    : rate_(std::max(0.0, rate_per_second)),
+      burst_(std::max(0.0, burst)),
+      tokens_(burst_) {}
+
+void TokenBucket::refill(double now) {
+  if (now <= last_) return;
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_));
+  last_ = now;
+}
+
+bool TokenBucket::try_spend(double now, double cost) {
+  refill(now);
+  if (tokens_ + 1e-9 < cost) {
+    ++denied_;
+    return false;
+  }
+  tokens_ -= cost;
+  spent_ += cost;
+  ++granted_;
+  return true;
+}
+
+void TokenBucket::credit(double amount) {
+  if (amount <= 0.0) return;
+  spent_ = std::max(0.0, spent_ - amount);
+  tokens_ = std::min(burst_, tokens_ + amount);
+}
+
+void TokenBucket::debit(double now, double amount) {
+  if (amount <= 0.0) return;
+  refill(now);
+  const double taken = std::min(amount, tokens_);
+  tokens_ -= taken;
+  spent_ += taken;
+}
+
+double TokenBucket::level(double now) {
+  refill(now);
+  return tokens_;
+}
+
+ProbeAdmission::ProbeAdmission(double probe_rate_per_second, double burst,
+                               double initial_cost_estimate)
+    : bucket_(probe_rate_per_second, burst),
+      estimate_(std::max(1.0, initial_cost_estimate)) {}
+
+bool ProbeAdmission::try_admit(double now) {
+  return bucket_.try_spend(now, estimate_);
+}
+
+void ProbeAdmission::settle(double now, double measured_probes) {
+  if (measured_probes < estimate_) {
+    bucket_.credit(estimate_ - measured_probes);
+  } else if (measured_probes > estimate_) {
+    // Overrun: draw down whatever is left rather than going negative, so a
+    // long isolation still delays the next admission.
+    bucket_.debit(now, measured_probes - estimate_);
+  }
+  estimate_ = (1.0 - ewma_alpha_) * estimate_ + ewma_alpha_ * measured_probes;
+}
+
+}  // namespace lg::fleet

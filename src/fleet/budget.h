@@ -1,0 +1,125 @@
+// lg::fleet — resource governance for the always-on service plane.
+//
+// The paper's §5.4 / Table 2 analysis makes announcement volume the binding
+// constraint of Internet-scale deployment: a system repairing many outages
+// at once must pace its BGP announcements or it *becomes* the instability
+// it is fighting, and Smith et al.'s poisoning study (PAPERS.md) reaches the
+// same conclusion from the measurement side. Probing is the other scarce
+// resource — an isolation costs ~280 probes (§5.4), so a burst of
+// correlated outages must not stampede the measurement plane.
+//
+// Both budgets are lazy token buckets over *simulated* time, so enforcement
+// is deterministic: the same run always grants and denies the same requests
+// regardless of thread count or wall-clock.
+#pragma once
+
+#include <cstdint>
+
+namespace lg::fleet {
+
+// Deterministic token bucket. Refill is computed lazily from the last
+// update's simulated timestamp; there is no background task.
+class TokenBucket {
+ public:
+  // `rate_per_second` tokens accrue continuously up to `burst` capacity.
+  // The bucket starts full. A zero rate makes the bucket burst-only.
+  TokenBucket(double rate_per_second, double burst);
+
+  // Spend `cost` tokens at simulated time `now` if available.
+  bool try_spend(double now, double cost);
+  // Return unused tokens (e.g. an admission estimate that overshot the
+  // measured cost). Never exceeds the burst capacity.
+  void credit(double amount);
+  // Unconditionally draw down up to `amount` tokens (clamped at zero)
+  // without touching the granted/denied counters — settlement of a cost
+  // overrun that was already admitted.
+  void debit(double now, double amount);
+
+  // Tokens available at `now` (refill applied, nothing spent).
+  double level(double now);
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+  // Totals over the bucket's lifetime.
+  double spent() const noexcept { return spent_; }
+  std::uint64_t granted() const noexcept { return granted_; }
+  std::uint64_t denied() const noexcept { return denied_; }
+
+  // The hard ceiling on what can possibly be spent in `horizon` seconds:
+  // the initial burst plus everything the refill can add. spend() can never
+  // exceed this, which is the invariant the fleet bench asserts.
+  double capacity(double horizon_seconds) const noexcept {
+    return burst_ + rate_ * horizon_seconds;
+  }
+
+ private:
+  void refill(double now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+  double spent_ = 0.0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+// Global pacing of poison/prepend announcements. One token = one
+// re-announcement of the production prefix with a changed poison set.
+// Reverting to the baseline is deliberately free: revert volume is bounded
+// by previously granted poisons, so the bucket still bounds total churn at
+// twice its capacity, and a fleet must never be blocked from *restoring*
+// the baseline.
+class AnnouncementBudget {
+ public:
+  AnnouncementBudget(double rate_per_second, double burst)
+      : bucket_(rate_per_second, burst) {}
+
+  bool try_announce(double now) { return bucket_.try_spend(now, 1.0); }
+
+  double utilization(double horizon_seconds) const noexcept {
+    const double cap = bucket_.capacity(horizon_seconds);
+    return cap > 0.0 ? bucket_.spent() / cap : 0.0;
+  }
+
+  TokenBucket& bucket() noexcept { return bucket_; }
+  const TokenBucket& bucket() const noexcept { return bucket_; }
+
+ private:
+  TokenBucket bucket_;
+};
+
+// Admission controller for isolation measurement campaigns. Each admission
+// reserves the *estimated* probe cost of one isolation from a probe-rate
+// bucket; when the isolation finishes, the difference between estimate and
+// measured cost is settled (credited back or spent on top), and the
+// estimate adapts by EWMA so the controller tracks what isolations really
+// cost in this world. Callers decide admission order — the EpisodeManager
+// ranks suspects by estimated impact and admits high-impact episodes first,
+// deferring the rest (graceful degradation instead of a probe stampede).
+class ProbeAdmission {
+ public:
+  // `initial_cost_estimate` defaults to the paper's ~280 probes per
+  // isolated outage (§5.4).
+  ProbeAdmission(double probe_rate_per_second, double burst,
+                 double initial_cost_estimate = 280.0);
+
+  // Reserve one isolation's estimated probe cost. False = defer.
+  bool try_admit(double now);
+  // Report the measured cost of an admitted isolation.
+  void settle(double now, double measured_probes);
+
+  double cost_estimate() const noexcept { return estimate_; }
+  std::uint64_t admitted() const noexcept { return bucket_.granted(); }
+  std::uint64_t deferred() const noexcept { return bucket_.denied(); }
+
+  TokenBucket& bucket() noexcept { return bucket_; }
+  const TokenBucket& bucket() const noexcept { return bucket_; }
+
+ private:
+  TokenBucket bucket_;
+  double estimate_;
+  double ewma_alpha_ = 0.3;
+};
+
+}  // namespace lg::fleet

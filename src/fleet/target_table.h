@@ -1,0 +1,59 @@
+// lg::fleet — the sharded table of monitored destinations.
+//
+// The deployment monitored thousands of destinations from each vantage
+// point. The fleet splits that set across a fixed number of shards — each
+// shard is an independent simulated universe driven by one EpisodeManager —
+// so the shard count (not the thread count) defines the partition, and the
+// same fleet produces byte-identical results under any LG_THREADS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/addressing.h"
+
+namespace lg::workload {
+class SimWorld;
+}  // namespace lg::workload
+
+namespace lg::fleet {
+
+using topo::AsId;
+using topo::Ipv4;
+
+struct MonitoredTarget {
+  Ipv4 addr = 0;
+  AsId as = topo::kInvalidAs;
+  // Estimated impact of losing this destination (degree of its AS): the
+  // admission controller repairs high-impact episodes first when probe
+  // budget runs short.
+  double weight = 1.0;
+};
+
+class TargetTable {
+ public:
+  // Partition `total` monitored destinations over `shards` shards.
+  TargetTable(std::size_t total, std::size_t shards);
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t shards() const noexcept { return shards_; }
+  // Balanced split: every shard gets total/shards, the first total%shards
+  // shards get one more.
+  std::size_t shard_quota(std::size_t shard) const;
+
+  // Enumerate up to `count` probe-responding router addresses inside
+  // `world`, skipping `origin` (we do not monitor ourselves). Deterministic:
+  // router index 0 (the cores) across all ASes first, then index 1, ... so
+  // the monitored set spreads over the topology before doubling up inside
+  // any AS. Returns fewer than `count` when the world runs out of
+  // responding routers.
+  static std::vector<MonitoredTarget> enumerate(workload::SimWorld& world,
+                                                AsId origin,
+                                                std::size_t count);
+
+ private:
+  std::size_t total_;
+  std::size_t shards_;
+};
+
+}  // namespace lg::fleet

@@ -57,6 +57,16 @@ const char* trace_kind_name(TraceKind k) noexcept {
       return "update_lost";
     case TraceKind::kStaleUpdateDropped:
       return "stale_update_dropped";
+    case TraceKind::kEpisodeStateChange:
+      return "episode_state_change";
+    case TraceKind::kEpisodeOpened:
+      return "episode_opened";
+    case TraceKind::kEpisodeClosed:
+      return "episode_closed";
+    case TraceKind::kAdmissionDeferred:
+      return "admission_deferred";
+    case TraceKind::kAnnounceDeferred:
+      return "announce_deferred";
   }
   return "?";
 }

@@ -54,6 +54,13 @@ enum class TraceKind : std::uint8_t {
   // scheduled), and a superseded in-flight update dropped at delivery.
   kUpdateLost,
   kStaleUpdateDropped,
+  // Fleet service plane (lg::fleet). a = target address, b = kind-specific
+  // (episode state code, blamed AS); value = deferral age / token level.
+  kEpisodeStateChange,
+  kEpisodeOpened,
+  kEpisodeClosed,
+  kAdmissionDeferred,
+  kAnnounceDeferred,
 };
 
 const char* trace_kind_name(TraceKind k) noexcept;

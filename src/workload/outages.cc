@@ -19,6 +19,24 @@ double sample_outage_duration(util::Rng& rng, const OutageDurationParams& p) {
   return std::min(d, p.tail_cap);
 }
 
+std::vector<OutageEvent> sample_outage_process(util::Rng& rng,
+                                               double rate_per_hour,
+                                               double horizon_seconds,
+                                               const OutageDurationParams& p,
+                                               double duration_cap_seconds) {
+  std::vector<OutageEvent> events;
+  if (rate_per_hour <= 0.0 || horizon_seconds <= 0.0) return events;
+  const double mean_gap = 3600.0 / rate_per_hour;
+  double t = rng.exponential(mean_gap);
+  while (t < horizon_seconds) {
+    double d = sample_outage_duration(rng, p);
+    if (duration_cap_seconds > 0.0) d = std::min(d, duration_cap_seconds);
+    events.push_back(OutageEvent{t, d});
+    t += rng.exponential(mean_gap);
+  }
+  return events;
+}
+
 util::EmpiricalCdf generate_outage_study(std::size_t n,
                                          const OutageDurationParams& p,
                                          std::uint64_t seed) {

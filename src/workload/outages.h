@@ -40,6 +40,24 @@ struct OutageDurationParams {
 // One sampled outage duration in seconds.
 double sample_outage_duration(util::Rng& rng, const OutageDurationParams& p);
 
+// One outage of a continuous arrival process: start time plus an
+// EC2-calibrated duration.
+struct OutageEvent {
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+// A Poisson arrival process of outages over [0, horizon_seconds): arrival
+// gaps are exponential at `rate_per_hour`, durations drawn from `p` and
+// (when duration_cap_seconds > 0) truncated so long-tail outages cannot
+// outlive a bounded harness run. Events come back in start order. This is
+// the always-on fleet's workload: at any instant several sampled outages
+// may overlap — exactly the concurrent-outage regime the episode state
+// machine has to multiplex.
+std::vector<OutageEvent> sample_outage_process(
+    util::Rng& rng, double rate_per_hour, double horizon_seconds,
+    const OutageDurationParams& p = {}, double duration_cap_seconds = 0.0);
+
 // The full synthetic study: `n` outages (paper: 10,308).
 util::EmpiricalCdf generate_outage_study(std::size_t n,
                                          const OutageDurationParams& p = {},
