@@ -15,6 +15,7 @@
 #include "core/remediation.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "topology/valley_free.h"
 #include "workload/outages.h"
@@ -204,6 +205,43 @@ void BM_ExportPath(benchmark::State& state) {
 }
 BENCHMARK(BM_ExportPath)->Arg(200)->Arg(600);
 
+// Span begin+end pair against a private registry. Arg(1) is the enabled
+// path (id derivation, deque append, index insert, end lookup); Arg(0) is
+// the disabled path, which must stay branch-plus-nothing — this is the cost
+// every instrumented call site pays when spans are off.
+void BM_SpanBeginEnd(benchmark::State& state) {
+  obs::SpanRegistry spans;
+  spans.set_enabled(state.range(0) != 0);
+  spans.set_seed(42);
+  double now = 0.0;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    const obs::SpanId id = spans.begin(now, "bench.span", 0, 1, 2);
+    now += 0.001;
+    spans.end(id, now);
+    // Bound the deque: the periodic clear is amortized into the timing,
+    // which is honest — real runs pay for span storage too.
+    if ((++n & 0xFFFF) == 0) spans.clear();
+  }
+  benchmark::DoNotOptimize(spans.size());
+}
+BENCHMARK(BM_SpanBeginEnd)->Arg(0)->Arg(1);
+
+// One trace-ring append. Arg(1) exercises the enabled ring-buffer write
+// (including wraparound once warm); Arg(0) the disabled early-out branch.
+void BM_TraceAppend(benchmark::State& state) {
+  obs::TraceRing ring;
+  ring.set_capacity(1 << 12);
+  ring.set_enabled(state.range(0) != 0);
+  double now = 0.0;
+  for (auto _ : state) {
+    ring.record(now, obs::TraceKind::kProbeIssued, 7, 1234);
+    now += 0.001;
+  }
+  benchmark::DoNotOptimize(ring.size());
+}
+BENCHMARK(BM_TraceAppend)->Arg(0)->Arg(1);
+
 void BM_OutageStudyGeneration(benchmark::State& state) {
   std::uint64_t seed = 1;
   for (auto _ : state) {
@@ -252,8 +290,11 @@ int main(int argc, char** argv) {
   registry.set_enabled(true);
   registry.configure_from_env();  // LG_METRICS=off measures the opt-out cost
   registry.reset();
-  // Tracing stays off: per-message ring writes would skew the hot loops.
+  // Tracing and span capture stay off: per-message ring/deque writes would
+  // skew the hot loops. BM_TraceAppend/BM_SpanBeginEnd measure those costs
+  // against private instances instead.
   obs::TraceRing::global().set_enabled(false);
+  obs::SpanRegistry::global().set_enabled(false);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -60,6 +60,11 @@ int main() {
                 "lg::fleet episode throughput, remediation latency, and "
                 "announcement pacing vs fleet size");
   bench::JsonReport jr("sec6_fleet_scale");
+  // The 5000-target cells record far more episode events than the default
+  // 4096-slot ring holds; at 64 K the merged ring keeps the full run
+  // (report "traces"/"ring_dropped" stays 0) and a Perfetto export shows
+  // every instant, not just the tail.
+  obs::TraceRing::global().set_capacity(1 << 16);
 
   std::vector<std::size_t> sizes = {100, 500, 1000, 2500, 5000};
   if (const char* v = std::getenv("LG_FLEET_TARGETS")) {
@@ -195,6 +200,13 @@ int main() {
                  cap > 0.0 ? cell.result.announce_spent() / cap : 0.0);
   }
   jr->headline("budget_respected_all_cells", all_respected ? 1.0 : 0.0);
+  // Stall-watchdog verdict across every cell (lg.fleet.stalled aggregates in
+  // the global registry as shards merge). Expected 0 on a healthy plane; a
+  // nonzero value names episodes parked past LG_FLEET_STALL_SECONDS.
+  jr->headline(
+      "episodes_stalled",
+      static_cast<double>(
+          obs::MetricsRegistry::global().counter("lg.fleet.stalled").value()));
   if (!all_respected) {
     std::printf("\n  ERROR: a shard exceeded its announcement budget cap\n");
     return 1;

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json run reports against the lg.run_report.v2 schema.
+
+Usage:
+    check_run_report.py FILE [FILE...]          # validate, exit 1 on failure
+    check_run_report.py --canon FILE            # canonicalize to stdout
+
+Validation pins the schema contract that obs/report.cc emits and that
+trajectory-diffing across PRs depends on: exact top-level sections, v1
+fields unchanged, the v2 additions (traces.ring_dropped, spans) present and
+internally consistent, and trace timestamps monotone.
+
+--canon prints the report re-serialized with the "spans" section removed.
+The spans section is the one part of the report allowed to differ between a
+spans-on and a spans-off run of the same bench (everything else, including
+stdout, must be byte-identical), so CI byte-diffs the canonical forms.
+"""
+
+import json
+import sys
+
+SCHEMA = "lg.run_report.v2"
+TOP_KEYS = ["schema", "report", "config", "headline", "metrics", "traces",
+            "spans"]
+DIST_KEYS = {"count", "mean", "stddev", "min", "max", "p50", "p90", "p99"}
+EVENT_KEYS = {"t", "kind", "a", "b", "value"}
+PROFILE_KEYS = {"count", "open", "total_seconds", "mean", "min", "max",
+                "p50", "p90", "p99"}
+
+
+class Invalid(Exception):
+    pass
+
+
+def need(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate(doc):
+    need(isinstance(doc, dict), "top level must be an object")
+    need(list(doc.keys()) == TOP_KEYS,
+         f"top-level keys must be exactly {TOP_KEYS}, got {list(doc.keys())}")
+    need(doc["schema"] == SCHEMA, f"schema must be {SCHEMA!r}")
+    need(isinstance(doc["report"], str) and doc["report"],
+         "report must be a non-empty string")
+    for section in ("config", "headline"):
+        need(isinstance(doc[section], dict), f"{section} must be an object")
+        for k, v in doc[section].items():
+            need(isinstance(v, (str, bool)) or is_num(v),
+                 f"{section}[{k!r}] must be a scalar")
+
+    metrics = doc["metrics"]
+    need(isinstance(metrics, dict), "metrics must be an object")
+    need(set(metrics.keys()) == {"counters", "gauges", "distributions"},
+         "metrics must hold counters/gauges/distributions")
+    counters = metrics["counters"]
+    for k, v in counters.items():
+        need(isinstance(v, int) and v >= 0,
+             f"counter {k!r} must be a non-negative integer")
+    # Canonical counters every report carries, even when zero.
+    for k in ("lg.bgp.updates_sent", "lg.scheduler.events_executed"):
+        need(k in counters, f"canonical counter {k!r} missing")
+    for k, v in metrics["gauges"].items():
+        need(set(v.keys()) == {"value", "max"} and all(map(is_num, v.values())),
+             f"gauge {k!r} must hold numeric value/max")
+    for k, v in metrics["distributions"].items():
+        need(set(v.keys()) == DIST_KEYS,
+             f"distribution {k!r} keys must be {sorted(DIST_KEYS)}")
+        need(all(map(is_num, v.values())),
+             f"distribution {k!r} values must be numeric")
+
+    traces = doc["traces"]
+    need(list(traces.keys()) == ["recorded", "dropped", "ring_dropped",
+                                 "events"],
+         "traces must hold recorded/dropped/ring_dropped/events")
+    for k in ("recorded", "dropped", "ring_dropped"):
+        need(isinstance(traces[k], int) and traces[k] >= 0,
+             f"traces.{k} must be a non-negative integer")
+    events = traces["events"]
+    need(isinstance(events, list), "traces.events must be an array")
+    need(traces["recorded"] == traces["dropped"] + len(events),
+         "traces.recorded must equal dropped + len(events)")
+    need(traces["ring_dropped"] <= traces["dropped"],
+         "ring drops are a subset of total drops")
+    last_t = float("-inf")
+    for i, ev in enumerate(events):
+        need(set(ev.keys()) == EVENT_KEYS,
+             f"event #{i} keys must be {sorted(EVENT_KEYS)}")
+        need(is_num(ev["t"]) and isinstance(ev["kind"], str),
+             f"event #{i} has malformed t/kind")
+        need(ev["t"] >= last_t, f"event #{i} timestamp runs backwards")
+        last_t = ev["t"]
+
+    spans = doc["spans"]
+    need(list(spans.keys()) == ["captured", "count", "open", "by_name"],
+         "spans must hold captured/count/open/by_name")
+    need(isinstance(spans["captured"], bool), "spans.captured must be a bool")
+    for k in ("count", "open"):
+        need(isinstance(spans[k], int) and spans[k] >= 0,
+             f"spans.{k} must be a non-negative integer")
+    by_name = spans["by_name"]
+    need(isinstance(by_name, dict), "spans.by_name must be an object")
+    if not spans["captured"]:
+        need(not by_name and spans["count"] == 0 and spans["open"] == 0,
+             "an uncaptured spans section must be empty")
+    total = total_open = 0
+    for name, prof in by_name.items():
+        need(set(prof.keys()) == PROFILE_KEYS,
+             f"span profile {name!r} keys must be {sorted(PROFILE_KEYS)}")
+        need(all(map(is_num, prof.values())),
+             f"span profile {name!r} values must be numeric")
+        need(prof["min"] <= prof["max"], f"span profile {name!r}: min > max")
+        need(prof["p50"] <= prof["p90"] <= prof["p99"],
+             f"span profile {name!r}: quantiles not ordered")
+        need(prof["p99"] <= prof["max"],
+             f"span profile {name!r}: p99 exceeds max")
+        total += prof["count"]
+        total_open += prof["open"]
+    need(total == spans["count"],
+         "spans.count must equal the sum of by_name counts")
+    need(total_open == spans["open"],
+         "spans.open must equal the sum of by_name opens")
+
+
+def canon(doc):
+    doc = dict(doc)
+    doc.pop("spans", None)
+    return json.dumps(doc, indent=2, sort_keys=False) + "\n"
+
+
+def main(argv):
+    args = argv[1:]
+    canonical = False
+    if args and args[0] == "--canon":
+        canonical = True
+        args = args[1:]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in args:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            validate(doc)
+        except (OSError, json.JSONDecodeError, Invalid) as err:
+            print(f"check_run_report: {path}: {err}", file=sys.stderr)
+            failed = True
+            continue
+        if canonical:
+            sys.stdout.write(canon(doc))
+        else:
+            print(f"check_run_report: {path}: OK "
+                  f"({len(doc['metrics']['counters'])} counters, "
+                  f"{len(doc['spans']['by_name'])} span names)",
+                  file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

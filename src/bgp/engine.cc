@@ -20,6 +20,7 @@ BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
   c_mrai_deferrals_ = &reg.counter("lg.bgp.mrai_deferrals");
   c_best_path_changes_ = &reg.counter("lg.bgp.best_path_changes");
   trace_ = &obs::TraceRing::current();
+  spans_ = &obs::SpanRegistry::current();
   faults_ = &faults::FaultPlane::current();
   // Only an enabled fault plane can lose updates or reorder deliveries, so
   // only then do these counters exist — registering them unconditionally
@@ -174,7 +175,25 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
   }
   // Move the message into the delivery lambda: the path/communities buffers
   // built above transfer instead of being copied per in-flight update.
+  delivery_scheduled();
   sched_->after(delay, [this, msg = std::move(msg)] { deliver(msg); });
+}
+
+void BgpEngine::delivery_scheduled() {
+  if (++in_flight_ == 1 && spans_->enabled()) {
+    pump_span_ = spans_->begin(sched_->now(), "bgp.pump");
+    pump_delivered_start_ = delivered_total_;
+  }
+}
+
+void BgpEngine::delivery_done() {
+  if (--in_flight_ == 0 && pump_span_ != 0) {
+    spans_->annotate(
+        pump_span_, "updates_delivered",
+        static_cast<double>(delivered_total_ - pump_delivered_start_));
+    spans_->end(pump_span_, sched_->now());
+    pump_span_ = 0;
+  }
 }
 
 void BgpEngine::deliver(const UpdateMessage& msg) {
@@ -204,11 +223,13 @@ void BgpEngine::deliver(const UpdateMessage& msg) {
       c_updates_stale_dropped_->inc();
       trace_->record(now, obs::TraceKind::kStaleUpdateDropped, msg.from,
                      msg.to);
+      delivery_done();  // terminal: the message leaves flight here
       return;
     }
     applied = msg.seq;
   }
   last_activity_ = now;
+  ++delivered_total_;
   c_updates_delivered_->inc();
   trace_->record(now, obs::TraceKind::kUpdateDelivered, msg.from, msg.to);
   BgpSpeaker& receiver = speaker(msg.to);
@@ -240,6 +261,9 @@ void BgpEngine::deliver(const UpdateMessage& msg) {
       });
     }
   }
+  // After the cascade above: any exports this delivery triggered are already
+  // counted in flight, so a still-busy pump stays open.
+  delivery_done();
 }
 
 void BgpEngine::notify(AsId as, const Prefix& prefix) {
@@ -259,6 +283,10 @@ void BgpEngine::reset_counters() {
   last_activity_ = sched_->now();
   sent_by_.clear();
   best_changes_.clear();
+  // Re-base the pump delta with the phase reset; in-flight count and any
+  // open pump span are untouched (messages stay in flight regardless).
+  delivered_total_ = 0;
+  pump_delivered_start_ = 0;
   // Keep the registry's lg.bgp.* counters in lockstep with the engine-local
   // ones: a run report generated after a reset should only show the phase
   // since the reset, not silently include setup-phase convergence traffic.

@@ -15,6 +15,7 @@
 
 #include "bgp/speaker.h"
 #include "bgp/types.h"
+#include "obs/span.h"
 #include "topology/as_graph.h"
 #include "util/hashing.h"
 #include "util/rng.h"
@@ -139,6 +140,12 @@ class BgpEngine {
   void send_now(AsId from, AsId to, const Prefix& prefix, MraiState& mrai);
   void deliver(const UpdateMessage& msg);
   void notify(AsId as, const Prefix& prefix);
+  // Convergence-pump spans: a bgp.pump span covers each maximal period with
+  // at least one update in flight (the 0 -> 1 transition opens it, the
+  // drain back to 0 closes it with an updates_delivered delta). With spans
+  // disabled this is an integer inc/dec plus one branch per message.
+  void delivery_scheduled();
+  void delivery_done();
   double mrai_for(AsId from);
   double link_delay() { return rng_.uniform(cfg_.link_delay_min, cfg_.link_delay_max); }
 
@@ -163,6 +170,11 @@ class BgpEngine {
   double last_activity_ = 0.0;
   std::unordered_map<AsId, std::uint64_t> sent_by_;
   std::unordered_map<AsId, std::uint64_t> best_changes_;
+  // Pump-span bookkeeping (see delivery_scheduled/delivery_done).
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t delivered_total_ = 0;
+  std::uint64_t pump_delivered_start_ = 0;
+  obs::SpanId pump_span_ = 0;
 
   // Observability handles, resolved once against the global registry so the
   // per-message cost is a branch plus an add (see obs/metrics.h).
@@ -178,6 +190,7 @@ class BgpEngine {
   obs::Counter* c_updates_lost_ = nullptr;
   obs::Counter* c_updates_stale_dropped_ = nullptr;
   obs::TraceRing* trace_;
+  obs::SpanRegistry* spans_;
 };
 
 }  // namespace lg::bgp

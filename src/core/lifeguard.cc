@@ -55,7 +55,21 @@ Lifeguard::Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
   d_time_to_repair_ = &reg.distribution("lg.lifeguard.time_to_repair");
   d_time_to_remediate_ = &reg.distribution("lg.lifeguard.time_to_remediate");
   trace_ = &obs::TraceRing::current();
+  spans_ = &obs::SpanRegistry::current();
   faults_ = &faults::FaultPlane::current();
+}
+
+void Lifeguard::close_outage_span(TargetCtx& target, double now,
+                                  double outcome) {
+  if (target.phase_span != 0) {
+    spans_->end(target.phase_span, now);
+    target.phase_span = 0;
+  }
+  if (target.outage_span != 0) {
+    spans_->annotate(target.outage_span, "outcome", outcome);
+    spans_->end(target.outage_span, now);
+    target.outage_span = 0;
+  }
 }
 
 bool Lifeguard::degraded() const noexcept {
@@ -197,6 +211,17 @@ void Lifeguard::on_threshold(TargetCtx& target) {
   target.open_record = records_.size();
   records_.push_back(std::move(record));
 
+  // Spans: the outage runs from its first failed round; the isolation round
+  // is synchronous with a modeled duration, so its span closes immediately
+  // at the modeled completion time.
+  const OutageRecord& rec = records_.back();
+  target.outage_span =
+      spans_->begin(rec.began_at, "core.outage", 0, target.addr, target.as);
+  const obs::SpanId iso_span =
+      spans_->begin(now, "core.isolate", target.outage_span, target.addr,
+                    static_cast<std::uint64_t>(rec.isolation.probes_used));
+  spans_->end(iso_span, rec.isolated_at);
+
   const topo::Ipv4 addr = target.addr;
   sched_->at(records_.back().isolated_at,
              [this, addr] { decision_point(addr); });
@@ -208,11 +233,19 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
   OutageRecord& record = records_[target->open_record];
   const double now = sched_->now();
 
+  // A pending core.await_age span (from a previous deferral) ends here —
+  // whatever happens next is a fresh decision.
+  if (target->phase_span != 0) {
+    spans_->end(target->phase_span, now);
+    target->phase_span = 0;
+  }
+
   // Re-confirm: transient problems resolve while we wait (§4.2).
   if (prober_->ping(vp_.as, addr, vp_.addr).replied) {
     record.resolved_without_action = true;
     record.note = "resolved before remediation";
     c_resolved_without_action_->inc();
+    close_outage_span(*target, now, 0.0);
     set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
@@ -222,6 +255,7 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
   if (record.isolation.target_reachable || !record.isolation.blamed_as) {
     record.note = "isolation produced no target to act on";
     c_declined_->inc();
+    close_outage_span(*target, now, 1.0);
     set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
@@ -238,6 +272,9 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
     trace_->record(now, obs::TraceKind::kDecisionDeferred, addr, 0,
                    probe_coverage_);
     set_state(*target, TargetState::kAwaitingAge);
+    target->phase_span =
+        spans_->begin(now, "core.await_age", target->outage_span, addr);
+    spans_->annotate(target->phase_span, "coverage", probe_coverage_);
     sched_->after(cfg_.degradation.defer_retry_seconds,
                   [this, addr] { decision_point(addr); });
     return;
@@ -253,12 +290,16 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
     if (elapsed < cfg_.decision.min_elapsed_seconds) {
       // Not old enough yet: hold and re-decide once it is.
       set_state(*target, TargetState::kAwaitingAge);
+      target->phase_span =
+          spans_->begin(now, "core.await_age", target->outage_span, addr);
+      spans_->annotate(target->phase_span, "age", elapsed);
       sched_->at(record.began_at + cfg_.decision.min_elapsed_seconds + 1.0,
                  [this, addr] { decision_point(addr); });
       return;
     }
     record.note = "declined: " + record.verdict.reason;
     c_declined_->inc();
+    close_outage_span(*target, now, 2.0);
     set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
@@ -268,6 +309,7 @@ void Lifeguard::decision_point(topo::Ipv4 addr) {
   if (active_record_.has_value()) {
     record.note = "another remediation in flight; standing down";
     c_declined_->inc();
+    close_outage_span(*target, now, 3.0);
     set_state(*target, TargetState::kMonitoring);
     target->consecutive_failures = 0;
     target->open_record = SIZE_MAX;
@@ -323,6 +365,7 @@ void Lifeguard::apply_remediation(TargetCtx& target, OutageRecord& record) {
     if (!alternative) {
       record.note = "no alternate egress avoids the blamed AS";
       c_declined_->inc();
+      close_outage_span(target, now, 4.0);
       set_state(target, TargetState::kMonitoring);
       target.consecutive_failures = 0;
       target.open_record = SIZE_MAX;
@@ -351,6 +394,13 @@ void Lifeguard::apply_remediation(TargetCtx& target, OutageRecord& record) {
   }
   record.remediated_at = now;
   d_time_to_remediate_->observe(now - record.detected_at);
+  // The remediation phase runs from poison/shift to revert; sentinel rounds
+  // live inside it.
+  target.phase_span =
+      spans_->begin(now, "core.remediate", target.outage_span, blamed,
+                    static_cast<std::uint64_t>(record.action));
+  spans_->annotate(target.outage_span, "time_to_remediate",
+                   now - record.detected_at);
   set_state(target, TargetState::kRemediated);
   active_record_ = target.open_record;
   LG_INFO << "remediation applied (" << repair_action_name(record.action)
@@ -407,6 +457,9 @@ void Lifeguard::revert(TargetCtx& target, OutageRecord& record) {
   d_time_to_repair_->observe(record.repaired_at - record.detected_at);
   trace_->record(record.reverted_at, obs::TraceKind::kRepairReverted,
                  record.target);
+  spans_->annotate(target.outage_span, "time_to_repair",
+                   record.repaired_at - record.detected_at);
+  close_outage_span(target, record.reverted_at, 5.0);
   set_state(target, TargetState::kMonitoring);
   target.consecutive_failures = 0;
   target.open_record = SIZE_MAX;

@@ -27,6 +27,7 @@
 #include "core/sentinel.h"
 #include "measure/probes.h"
 #include "measure/vantage.h"
+#include "obs/span.h"
 #include "util/scheduler.h"
 
 namespace lg::obs {
@@ -141,6 +142,11 @@ class Lifeguard {
     int consecutive_failures = 0;
     double first_failure_at = -1.0;
     std::size_t open_record = SIZE_MAX;
+    // Span handles (0 when spans are off): core.outage per open record,
+    // plus a core.isolate / core.await_age / core.remediate child for the
+    // phase currently in flight.
+    obs::SpanId outage_span = 0;
+    obs::SpanId phase_span = 0;
   };
 
   void ping_round();
@@ -165,6 +171,10 @@ class Lifeguard {
       AsId affected_source) const;
   void revert(TargetCtx& target, OutageRecord& record);
   TargetCtx* find_target(topo::Ipv4 addr);
+  // Close the target's phase + outage spans at `now`, annotating the outage
+  // with an outcome code (0 resolved-self, 1 no-blame, 2 declined,
+  // 3 stand-down, 4 no-egress, 5 repaired).
+  void close_outage_span(TargetCtx& target, double now, double outcome);
 
   util::Scheduler* sched_;
   bgp::BgpEngine* engine_;
@@ -206,6 +216,7 @@ class Lifeguard {
   obs::Distribution* d_time_to_repair_;
   obs::Distribution* d_time_to_remediate_;
   obs::TraceRing* trace_;
+  obs::SpanRegistry* spans_;
 };
 
 }  // namespace lg::core

@@ -30,6 +30,27 @@ const char* episode_state_name(EpisodeState s) noexcept {
   return "?";
 }
 
+namespace {
+// Span names are a fixed vocabulary of static strings (see obs/span.h).
+const char* state_span_name(EpisodeState s) noexcept {
+  switch (s) {
+    case EpisodeState::kSuspect:
+      return "fleet.suspect";
+    case EpisodeState::kIsolate:
+      return "fleet.isolate";
+    case EpisodeState::kRemediate:
+      return "fleet.remediate";
+    case EpisodeState::kVerify:
+      return "fleet.verify";
+    case EpisodeState::kHolddown:
+      return "fleet.holddown";
+    case EpisodeState::kMonitor:
+      break;  // steady state, no residency span
+  }
+  return nullptr;
+}
+}  // namespace
+
 const char* episode_outcome_name(EpisodeOutcome o) noexcept {
   switch (o) {
     case EpisodeOutcome::kOpen:
@@ -80,12 +101,25 @@ EpisodeManager::EpisodeManager(workload::SimWorld& world, AsId origin,
   c_verify_failbacks_ = &reg.counter("lg.fleet.verify_failbacks");
   c_flap_reentries_ = &reg.counter("lg.fleet.flap_reentries");
   c_announcements_ = &reg.counter("lg.fleet.announcements_sent");
+  c_stalled_ = &reg.counter("lg.fleet.stalled");
   g_open_episodes_ = &reg.gauge("lg.fleet.open_episodes");
   g_poison_set_ = &reg.gauge("lg.fleet.poison_set_size");
   d_time_to_remediate_ = &reg.distribution("lg.fleet.time_to_remediate");
   d_time_to_repair_ = &reg.distribution("lg.fleet.time_to_repair");
   d_episode_duration_ = &reg.distribution("lg.fleet.episode_duration");
+  using S = EpisodeState;
+  d_time_in_state_[static_cast<std::size_t>(S::kSuspect)] =
+      &reg.distribution("lg.fleet.time_in_suspect");
+  d_time_in_state_[static_cast<std::size_t>(S::kIsolate)] =
+      &reg.distribution("lg.fleet.time_in_isolate");
+  d_time_in_state_[static_cast<std::size_t>(S::kRemediate)] =
+      &reg.distribution("lg.fleet.time_in_remediate");
+  d_time_in_state_[static_cast<std::size_t>(S::kVerify)] =
+      &reg.distribution("lg.fleet.time_in_verify");
+  d_time_in_state_[static_cast<std::size_t>(S::kHolddown)] =
+      &reg.distribution("lg.fleet.time_in_holddown");
   trace_ = &obs::TraceRing::current();
+  spans_ = &obs::SpanRegistry::current();
   announce_ = &announce_budget;
   admission_ = &probe_admission;
 }
@@ -102,11 +136,29 @@ void EpisodeManager::start(double stop_at) {
 }
 
 void EpisodeManager::set_state(TargetCtx& t, EpisodeState state) {
-  if (t.state != state) {
-    trace_->record(sched_->now(), obs::TraceKind::kEpisodeStateChange,
-                   t.info.addr, static_cast<std::uint64_t>(state));
+  if (t.state == state) return;
+  const double now = sched_->now();
+  trace_->record(now, obs::TraceKind::kEpisodeStateChange, t.info.addr,
+                 static_cast<std::uint64_t>(state));
+  // Residency accounting runs whether or not spans are on: the time-in-state
+  // distributions (and the stall watchdog they feed) must not vary with
+  // LG_SPANS, or the spans-off byte-identity contract breaks.
+  if (obs::Distribution* d =
+          d_time_in_state_[static_cast<std::size_t>(t.state)];
+      d != nullptr) {
+    d->observe(now - t.state_entered_at);
+  }
+  if (t.state_span != 0) {
+    spans_->end(t.state_span, now);
+    t.state_span = 0;
   }
   t.state = state;
+  t.state_entered_at = now;
+  t.stall_flagged = false;
+  if (const char* name = state_span_name(state); name != nullptr) {
+    t.state_span = spans_->begin(now, name, t.episode_span, t.info.addr,
+                                 static_cast<std::uint64_t>(state));
+  }
 }
 
 bool EpisodeManager::ping_target(const TargetCtx& t) {
@@ -146,6 +198,22 @@ void EpisodeManager::monitor_round() {
   const double now = sched_->now();
   for (std::size_t idx = 0; idx < targets_.size(); ++idx) {
     TargetCtx& t = targets_[idx];
+    // Stall watchdog: an episode parked in one active state past the
+    // threshold is flagged once. MONITOR is steady state and HOLDDOWN is a
+    // deliberate cooldown, so neither counts as stuck.
+    if (cfg_.stall_threshold_seconds > 0.0 &&
+        t.state != EpisodeState::kMonitor &&
+        t.state != EpisodeState::kHolddown && !t.stall_flagged &&
+        now - t.state_entered_at > cfg_.stall_threshold_seconds) {
+      t.stall_flagged = true;
+      c_stalled_->inc();
+      trace_->record(now, obs::TraceKind::kEpisodeStalled, t.info.addr,
+                     static_cast<std::uint64_t>(t.state),
+                     now - t.state_entered_at);
+      spans_->annotate(t.state_span, "stalled_age", now - t.state_entered_at);
+      spans_->annotate(t.episode_span, "stalled_in_state",
+                       static_cast<double>(t.state));
+    }
     if (t.state == EpisodeState::kIsolate ||
         t.state == EpisodeState::kRemediate ||
         t.state == EpisodeState::kVerify) {
@@ -218,6 +286,8 @@ void EpisodeManager::admission_pass(double now) {
       c_isolation_deferrals_->inc();
       trace_->record(now, obs::TraceKind::kAdmissionDeferred, t.info.addr,
                      t.info.as, now - t.first_failure_at);
+      spans_->annotate(t.episode_span, "admission_deferred",
+                       now - t.first_failure_at);
     }
   }
 }
@@ -242,6 +312,16 @@ void EpisodeManager::open_episode(TargetCtx& t, double now) {
   g_open_episodes_->set(static_cast<double>(open_));
   c_episodes_opened_->inc();
   trace_->record(now, obs::TraceKind::kEpisodeOpened, t.info.addr, t.info.as);
+  // Episode span runs from first failed round to close; the current state
+  // residency (SUSPECT, opened before detection crossed the threshold)
+  // re-parents under it so the tree reads episode -> states.
+  t.episode_span = spans_->begin(episodes_.back().opened_at, "fleet.episode",
+                                 0, t.info.addr, t.info.as);
+  spans_->reparent(t.state_span, t.episode_span);
+  if (t.episode_span != 0 && t.flap_count > 0) {
+    spans_->annotate(t.episode_span, "flap_generation",
+                     static_cast<double>(t.flap_count));
+  }
   LG_INFO << "fleet: episode opened for " << topo::format_ipv4(t.info.addr)
           << " (AS " << t.info.as << ", flap gen " << t.flap_count << ")";
 }
@@ -355,6 +435,8 @@ void EpisodeManager::remediate_point(std::size_t target_idx) {
       c_budget_deferrals_->inc();
       trace_->record(now, obs::TraceKind::kAnnounceDeferred, t.info.addr,
                      rec.blamed, now - rec.detected_at);
+      spans_->annotate(t.episode_span, "announce_deferred",
+                       now - rec.detected_at);
       if (announce_->bucket().rate() <= 0.0 &&
           announce_->bucket().level(now) < 1.0) {
         rec.note = "declined: announcement budget exhausted";
@@ -469,6 +551,8 @@ void EpisodeManager::reisolate_point(std::size_t target_idx) {
     c_isolation_deferrals_->inc();
     trace_->record(now, obs::TraceKind::kAdmissionDeferred, t.info.addr,
                    t.info.as, now - t.first_failure_at);
+    spans_->annotate(t.episode_span, "admission_deferred",
+                     now - t.first_failure_at);
     sched_->after(cfg_.defer_retry_seconds,
                   [this, target_idx] { reisolate_point(target_idx); });
     return;
@@ -530,11 +614,31 @@ void EpisodeManager::close_episode(TargetCtx& t, EpisodeRecord& rec,
   t.first_failure_at = -1.0;
   t.verify_failures = 0;
   t.last_closed_at = now;
+  // Transition first so a HOLDDOWN residency still links under the episode
+  // span, then close the episode span with its outcome decomposition.
+  const obs::SpanId episode_span = t.episode_span;
   if (next_state == EpisodeState::kHolddown) {
     enter_holddown(t, now);
   } else {
     set_state(t, next_state);
   }
+  if (episode_span != 0) {
+    spans_->annotate(episode_span, "outcome", static_cast<double>(outcome));
+    if (rec.probe_deferrals > 0) {
+      spans_->annotate(episode_span, "probe_deferrals",
+                       static_cast<double>(rec.probe_deferrals));
+    }
+    if (rec.budget_deferrals > 0) {
+      spans_->annotate(episode_span, "budget_deferrals",
+                       static_cast<double>(rec.budget_deferrals));
+    }
+    if (rec.remediated_at >= 0.0) {
+      spans_->annotate(episode_span, "time_to_remediate",
+                       rec.remediated_at - rec.detected_at);
+    }
+    spans_->end(episode_span, now);
+  }
+  t.episode_span = 0;
 }
 
 void EpisodeManager::enter_holddown(TargetCtx& t, double now) {

@@ -43,6 +43,7 @@
 #include "fleet/budget.h"
 #include "fleet/target_table.h"
 #include "measure/vantage.h"
+#include "obs/span.h"
 #include "workload/sim_world.h"
 
 namespace lg::obs {
@@ -99,6 +100,11 @@ struct EpisodeConfig {
   // A new episode opening within this window of the previous close on the
   // same target counts as a flap.
   double flap_window_seconds = 1800.0;
+  // Stall watchdog: an episode sitting in one state (excluding MONITOR and
+  // HOLDDOWN, which are parked on purpose) longer than this is flagged
+  // once — lg.fleet.stalled counter + kEpisodeStalled trace instant + span
+  // annotation. 0 disables. LG_FLEET_STALL_SECONDS overrides (fleet env).
+  double stall_threshold_seconds = 1800.0;
   // Background atlas maintenance: one full pass at startup, then rotating
   // slices of `atlas_chunk` targets every `atlas_refresh_interval` — a
   // thousand-target shard cannot re-traceroute everything each round.
@@ -181,6 +187,13 @@ class EpisodeManager {
     double holddown_until = -1.0;
     double last_closed_at = -1e18;
     int verify_failures = 0;
+    // Span handles (0 when spans are off): one fleet.episode span per open
+    // episode, one fleet.<state> child per non-MONITOR state residency.
+    obs::SpanId episode_span = 0;
+    obs::SpanId state_span = 0;
+    // Stall watchdog bookkeeping — maintained whether or not spans are on.
+    double state_entered_at = 0.0;
+    bool stall_flagged = false;
   };
 
   void monitor_round();
@@ -247,12 +260,17 @@ class EpisodeManager {
   obs::Counter* c_verify_failbacks_;
   obs::Counter* c_flap_reentries_;
   obs::Counter* c_announcements_;
+  obs::Counter* c_stalled_;
   obs::Gauge* g_open_episodes_;
   obs::Gauge* g_poison_set_;
   obs::Distribution* d_time_to_remediate_;
   obs::Distribution* d_time_to_repair_;
   obs::Distribution* d_episode_duration_;
+  // Time spent in each residency, observed on every transition out of a
+  // non-MONITOR state (indexed by EpisodeState; kMonitor slot is null).
+  obs::Distribution* d_time_in_state_[6] = {};
   obs::TraceRing* trace_;
+  obs::SpanRegistry* spans_;
 };
 
 }  // namespace lg::fleet

@@ -38,6 +38,11 @@ FleetConfig FleetConfig::from_env(FleetConfig base) {
     const double n = std::strtod(v, &end);
     if (end != v && n >= 0.0) base.probe_rate_per_second = n;
   }
+  if (const char* v = std::getenv("LG_FLEET_STALL_SECONDS")) {
+    char* end = nullptr;
+    const double n = std::strtod(v, &end);
+    if (end != v && n >= 0.0) base.episode.stall_threshold_seconds = n;
+  }
   return base;
 }
 

@@ -58,7 +58,8 @@ struct FleetConfig {
   EpisodeConfig episode;
 
   // Apply LG_FLEET_TARGETS / LG_FLEET_ANNOUNCE_BUDGET (announcements per
-  // hour) / LG_FLEET_PROBE_BUDGET (probes per second per shard) on top of
+  // hour) / LG_FLEET_PROBE_BUDGET (probes per second per shard) /
+  // LG_FLEET_STALL_SECONDS (stall watchdog threshold, 0 disables) on top of
   // `base`. Unparsable values keep the base (forgiving, like every other
   // LG_* knob).
   static FleetConfig from_env(FleetConfig base);

@@ -4,6 +4,7 @@
 
 #include "faults/fault_plane.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lg::measure {
@@ -165,10 +166,20 @@ PingResult Prober::ping_via(AsId src_as, AsId first_hop, Ipv4 dst,
 
 TracerouteResult Prober::traceroute_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
                                          bool spoofed) {
+  // Probe rounds are instantaneous in the model, so these render as
+  // zero-duration slices; the payload is the per-round probe accounting.
+  // Pings are deliberately NOT spanned — they are the per-message hot path.
+  auto& spans = obs::SpanRegistry::current();
+  const obs::SpanId span =
+      spans.begin(sim_now(), spoofed ? "probe.spoofed_traceroute"
+                                     : "probe.traceroute",
+                  spans.scope_top(), src_as, dst);
+  const std::uint64_t probes_before = budget_.total();
   TracerouteResult result;
   if (faults_->enabled() && !faults_->vantage_up(src_as, sim_now())) {
     // VP down: no probes leave the box; the operator sees an empty trace.
     faults_->note_vantage_hit(src_as, sim_now());
+    spans.end(span, sim_now());
     return result;
   }
   const auto fwd = dp_->forward(src_as, dst);
@@ -211,6 +222,13 @@ TracerouteResult Prober::traceroute_impl(AsId src_as, Ipv4 dst, Ipv4 reply_to,
       result.destination_replied = reply.delivered();
     }
   }
+  if (span != 0) {
+    spans.annotate(span, "probes",
+                   static_cast<double>(budget_.total() - probes_before));
+    spans.annotate(span, "responsive_hops",
+                   static_cast<double>(result.responsive_as_path().size()));
+    spans.end(span, sim_now());
+  }
   return result;
 }
 
@@ -232,14 +250,24 @@ std::optional<dp::ForwardResult> Prober::reverse_traceroute(Ipv4 from,
   c_option_probes_->inc(10);
   c_traceroute_probes_->inc(2);
 
+  auto& spans = obs::SpanRegistry::current();
   const auto owner = topo::AddressPlan::owner_of(from);
-  if (!owner) return std::nullopt;
-  if (!target_responds(from)) return std::nullopt;
+  const obs::SpanId span = spans.begin(
+      sim_now(), "probe.reverse_traceroute", spans.scope_top(),
+      owner ? static_cast<std::uint64_t>(*owner) : 0, from);
+  const auto finish = [&](std::optional<dp::ForwardResult> path) {
+    spans.annotate(span, "measured", path.has_value() ? 1.0 : 0.0);
+    spans.end(span, sim_now());
+    return path;
+  };
+
+  if (!owner) return finish(std::nullopt);
+  if (!target_responds(from)) return finish(std::nullopt);
 
   std::optional<RouterId> from_router = topo::AddressPlan::router_of(from);
   auto path = dp_->forward(*owner, to_addr, from_router);
-  if (!path.delivered()) return std::nullopt;
-  return path;
+  if (!path.delivered()) return finish(std::nullopt);
+  return finish(std::move(path));
 }
 
 }  // namespace lg::measure

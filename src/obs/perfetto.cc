@@ -1,0 +1,146 @@
+#include "obs/perfetto.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "util/json.h"
+
+namespace lg::obs {
+
+namespace {
+
+// Span ids are full 64-bit values; JSON numbers lose precision past 2^53,
+// so ids render as fixed-width hex strings.
+std::string hex_id(std::uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
+}
+
+constexpr double kMicrosPerSecond = 1e6;
+
+}  // namespace
+
+std::string perfetto_trace_json(const SpanRegistry& spans,
+                                const TraceRing& ring) {
+  // One timestamp-sorted pass over both sources. stable_sort + fixed
+  // insertion order (spans in registry order, then ring events oldest
+  // first) keeps ties deterministic.
+  struct Entry {
+    double ts = 0.0;
+    const SpanRecord* span = nullptr;
+    const TraceEvent* event = nullptr;
+  };
+  const auto ring_events = ring.events();
+  std::vector<Entry> entries;
+  entries.reserve(spans.size() + ring_events.size());
+  for (const SpanRecord& rec : spans.records()) {
+    entries.push_back(Entry{rec.begin, &rec, nullptr});
+  }
+  for (const TraceEvent& ev : ring_events) {
+    entries.push_back(Entry{ev.t, nullptr, &ev});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& x, const Entry& y) { return x.ts < y.ts; });
+
+  // Tracks: tid 0 carries the TraceRing instants; spans land on tid
+  // track+1 so shard 0 is its own lane even in single-trial runs.
+  std::set<std::uint32_t> tracks;
+  for (const SpanRecord& rec : spans.records()) tracks.insert(rec.track);
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  const auto metadata = [&w](const char* what, std::uint64_t tid,
+                             const std::string& name) {
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("pid", std::uint64_t{1});
+    w.kv("tid", tid);
+    w.kv("name", what);
+    w.key("args");
+    w.begin_object();
+    w.kv("name", name);
+    w.end_object();
+    w.end_object();
+  };
+  metadata("process_name", 0, "lifeguard-sim");
+  if (!ring_events.empty()) metadata("thread_name", 0, "trace events");
+  for (const std::uint32_t track : tracks) {
+    metadata("thread_name", std::uint64_t{track} + 1,
+             "shard " + std::to_string(track));
+  }
+
+  for (const Entry& entry : entries) {
+    w.begin_object();
+    if (entry.span != nullptr) {
+      const SpanRecord& rec = *entry.span;
+      w.kv("ph", "X");
+      w.kv("pid", std::uint64_t{1});
+      w.kv("tid", std::uint64_t{rec.track} + 1);
+      w.kv("ts", rec.begin * kMicrosPerSecond);
+      w.kv("dur", rec.duration() * kMicrosPerSecond);
+      w.kv("name", rec.name);
+      w.key("args");
+      w.begin_object();
+      w.kv("id", hex_id(rec.id));
+      if (rec.parent != 0) w.kv("parent", hex_id(rec.parent));
+      w.kv("a", rec.a);
+      w.kv("b", rec.b);
+      if (rec.open()) w.kv("open", true);
+      if (!rec.notes.empty()) {
+        // Notes as [key, value] pairs: annotation keys may repeat (one per
+        // deferral), which a JSON object cannot represent.
+        w.key("notes");
+        w.begin_array();
+        for (const auto& [key, value] : rec.notes) {
+          w.begin_array();
+          w.value(key);
+          w.value(value);
+          w.end_array();
+        }
+        w.end_array();
+      }
+      w.end_object();
+    } else {
+      const TraceEvent& ev = *entry.event;
+      w.kv("ph", "i");
+      w.kv("pid", std::uint64_t{1});
+      w.kv("tid", std::uint64_t{0});
+      w.kv("ts", ev.t * kMicrosPerSecond);
+      w.kv("s", "t");
+      w.kv("name", trace_kind_name(ev.kind));
+      w.key("args");
+      w.begin_object();
+      w.kv("a", ev.a);
+      w.kv("b", ev.b);
+      w.kv("value", ev.value);
+      w.end_object();
+    }
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  std::string out = w.str();
+  out += "\n";
+  return out;
+}
+
+bool write_perfetto_trace(const std::string& path, const SpanRegistry& spans,
+                          const TraceRing& ring) {
+  const std::string json = perfetto_trace_json(spans, ring);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace lg::obs

@@ -1,0 +1,32 @@
+// lg::obs — Chrome-trace-event (Perfetto-loadable) timeline export.
+//
+// Renders a SpanRegistry as duration ("X") events on per-shard tracks and a
+// TraceRing's events as thread-scoped instants ("i"), in the JSON trace
+// event format that ui.perfetto.dev / chrome://tracing open directly.
+// Simulated seconds map to trace microseconds, so a two-hour fleet horizon
+// reads as a two-hour timeline.
+//
+// Output is deterministic: metadata first (process, then thread names in
+// track order), then every event stably sorted by timestamp — so trace
+// files are byte-diffable across LG_THREADS, like everything else the obs
+// plane writes. Harnesses hook it up via LG_TRACE_OUT=<path>
+// (bench/bench_util.h); see docs/OPERATORS.md.
+#pragma once
+
+#include <string>
+
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace lg::obs {
+
+// The serialized trace document.
+std::string perfetto_trace_json(const SpanRegistry& spans,
+                                const TraceRing& ring);
+
+// Serialize and write to `path`. Returns false when the file cannot be
+// written (the caller reports; a failed trace export never fails a run).
+bool write_perfetto_trace(const std::string& path, const SpanRegistry& spans,
+                          const TraceRing& ring);
+
+}  // namespace lg::obs

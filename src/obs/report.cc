@@ -55,6 +55,7 @@ void RunReport::capture_metrics(const MetricsRegistry& registry) {
 
 void RunReport::capture_traces(const TraceRing& ring, std::size_t max_events) {
   traces_recorded_ = ring.recorded();
+  traces_ring_dropped_ = ring.dropped();
   auto events = ring.events();
   // Keep the newest `max_events`; everything older counts as dropped from
   // the report's point of view (on top of ring wraparound).
@@ -64,6 +65,24 @@ void RunReport::capture_traces(const TraceRing& ring, std::size_t max_events) {
   }
   trace_events_ = std::move(events);
   traces_dropped_ = traces_recorded_ - trace_events_.size();
+}
+
+void RunReport::capture_spans(const SpanRegistry& spans) {
+  spans_captured_ = spans.size() > 0;
+  span_count_ = 0;
+  span_open_ = 0;
+  span_profiles_.clear();
+  for (const SpanRecord& rec : spans.records()) {
+    SpanProfile& prof = span_profiles_[rec.name];
+    if (rec.open()) {
+      ++prof.open;
+      ++span_open_;
+      continue;
+    }
+    ++prof.count;
+    ++span_count_;
+    prof.durations.add(rec.duration());
+  }
 }
 
 void RunReport::capture_scheduler(const util::Scheduler& sched) {
@@ -76,7 +95,7 @@ void RunReport::capture_scheduler(const util::Scheduler& sched) {
 std::string RunReport::to_json() const {
   util::JsonWriter w;
   w.begin_object();
-  w.kv("schema", "lg.run_report.v1");
+  w.kv("schema", "lg.run_report.v2");
   w.kv("report", name_);
 
   const auto emit_kvmap = [&w](const char* section,
@@ -144,6 +163,7 @@ std::string RunReport::to_json() const {
   w.begin_object();
   w.kv("recorded", traces_recorded_);
   w.kv("dropped", traces_dropped_);
+  w.kv("ring_dropped", traces_ring_dropped_);
   w.key("events");
   w.begin_array();
   for (const auto& e : trace_events_) {
@@ -156,6 +176,32 @@ std::string RunReport::to_json() const {
     w.end_object();
   }
   w.end_array();
+  w.end_object();
+
+  // v2: per-name span duration profile. Always present so the schema is
+  // stable; `captured` false + empty `by_name` when spans were off.
+  w.key("spans");
+  w.begin_object();
+  w.kv("captured", spans_captured_);
+  w.kv("count", span_count_);
+  w.kv("open", span_open_);
+  w.key("by_name");
+  w.begin_object();
+  for (const auto& [name, prof] : span_profiles_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", prof.count);
+    w.kv("open", prof.open);
+    w.kv("total_seconds", prof.durations.sum());
+    w.kv("mean", prof.durations.mean());
+    w.kv("min", prof.durations.min());
+    w.kv("max", prof.durations.max());
+    w.kv("p50", prof.durations.quantile(0.5));
+    w.kv("p90", prof.durations.quantile(0.9));
+    w.kv("p99", prof.durations.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
   w.end_object();
 
   w.end_object();

@@ -1,9 +1,11 @@
 // lg::obs — machine-readable run reports. A RunReport gathers run
-// configuration, headline results, a metrics snapshot, and a bounded slice
-// of the event trace, then serializes them as pretty-printed JSON (schema
-// `lg.run_report.v1`). Every bench harness writes one next to its ASCII
+// configuration, headline results, a metrics snapshot, a bounded slice of
+// the event trace, and (v2) a per-name span duration profile, then
+// serializes them as pretty-printed JSON (schema `lg.run_report.v2`; every
+// v1 field is unchanged, v2 only adds the `spans` section and
+// `traces.ring_dropped`). Every bench harness writes one next to its ASCII
 // output as `BENCH_<name>.json`, establishing the perf/behaviour trajectory
-// across PRs.
+// across PRs. scripts/check_run_report.py validates the schema in CI.
 #pragma once
 
 #include <cstdint>
@@ -11,7 +13,9 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "util/stats.h"
 
 namespace lg::util {
 class Scheduler;
@@ -42,6 +46,12 @@ class RunReport {
       const MetricsRegistry& registry = MetricsRegistry::global());
   void capture_traces(const TraceRing& ring = TraceRing::global(),
                       std::size_t max_events = 512);
+  // Snapshot closed-span durations into per-name log-bucketed profiles (the
+  // `spans` section: count / open / p50 / p99 / total seconds per span
+  // name). The section is always emitted — `captured` is false and
+  // `by_name` empty when the registry recorded nothing — so spans-off runs
+  // only differ from spans-on runs inside this one section.
+  void capture_spans(const SpanRegistry& spans = SpanRegistry::global());
   // Convenience for harnesses driving a scheduler directly (without a
   // SimWorld, which publishes these continuously).
   void capture_scheduler(const util::Scheduler& sched);
@@ -76,6 +86,11 @@ class RunReport {
     double value = 0.0;
     double max = 0.0;
   };
+  struct SpanProfile {
+    std::uint64_t count = 0;  // closed spans
+    std::uint64_t open = 0;
+    util::LogHistogram durations{1e-3, 2.0, 40};  // seconds
+  };
 
   std::string name_;
   std::map<std::string, ConfigValue> config_;
@@ -85,7 +100,12 @@ class RunReport {
   std::map<std::string, DistSnapshot> distributions_;
   std::uint64_t traces_recorded_ = 0;
   std::uint64_t traces_dropped_ = 0;
+  std::uint64_t traces_ring_dropped_ = 0;
   std::vector<TraceEvent> trace_events_;
+  bool spans_captured_ = false;
+  std::uint64_t span_count_ = 0;
+  std::uint64_t span_open_ = 0;
+  std::map<std::string, SpanProfile> span_profiles_;
 };
 
 }  // namespace lg::obs

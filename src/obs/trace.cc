@@ -67,6 +67,10 @@ const char* trace_kind_name(TraceKind k) noexcept {
       return "admission_deferred";
     case TraceKind::kAnnounceDeferred:
       return "announce_deferred";
+    case TraceKind::kEpisodeStalled:
+      return "episode_stalled";
+    case TraceKind::kCount:
+      return "?";
   }
   return "?";
 }
@@ -96,6 +100,7 @@ TraceRing* TraceRing::exchange_current(TraceRing* ring) noexcept {
 }
 
 void TraceRing::merge(const TraceRing& other) {
+  if (enabled_) merge_dropped_ += other.dropped();
   for (const TraceEvent& ev : other.events()) {
     record(ev.t, ev.kind, ev.a, ev.b, ev.value);
   }
@@ -111,6 +116,7 @@ void TraceRing::set_capacity(std::size_t capacity) {
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.assign(capacity_, TraceEvent{});
   recorded_ = 0;
+  merge_dropped_ = 0;
 }
 
 std::vector<TraceEvent> TraceRing::events() const {
@@ -124,6 +130,9 @@ std::vector<TraceEvent> TraceRing::events() const {
   return out;
 }
 
-void TraceRing::clear() { recorded_ = 0; }
+void TraceRing::clear() {
+  recorded_ = 0;
+  merge_dropped_ = 0;
+}
 
 }  // namespace lg::obs

@@ -61,6 +61,13 @@ enum class TraceKind : std::uint8_t {
   kEpisodeClosed,
   kAdmissionDeferred,
   kAnnounceDeferred,
+  // Fleet stall watchdog: episode stuck in one state past the configured
+  // threshold. a = target address, b = state code, value = age in state.
+  kEpisodeStalled,
+  // Sentinel — keep last. tests/test_obs.cc iterates [0, kCount) to pin
+  // every kind to a unique trace_kind_name(); adding a kind without a name
+  // fails that test instead of printing "?".
+  kCount,
 };
 
 const char* trace_kind_name(TraceKind k) noexcept;
@@ -91,7 +98,9 @@ class TraceRing {
   // Append the events currently held by `other`, oldest first, as if they
   // had been record()ed here (so a disabled destination ring stays empty and
   // wraparound accounting keeps working). Events already overwritten inside
-  // `other` are gone — the ring is bounded by design.
+  // `other` are gone — the ring is bounded by design — but they are NOT
+  // forgotten: `other`'s drop count carries over into dropped(), so
+  // RunReport can surface merge-time loss (per-trial rings that wrapped).
   void merge(const TraceRing& other);
 
   void set_enabled(bool on) noexcept { enabled_ = on; }
@@ -115,9 +124,17 @@ class TraceRing {
     return recorded_ < capacity_ ? static_cast<std::size_t>(recorded_)
                                  : capacity_;
   }
-  // Total ever recorded / overwritten by wraparound.
-  std::uint64_t recorded() const noexcept { return recorded_; }
-  std::uint64_t dropped() const noexcept { return recorded_ - size(); }
+  // Total ever recorded into this ring or any ring merged into it. The
+  // invariant recorded() == dropped() + size() always holds: events a
+  // merged source ring lost to wraparound were recorded upstream, so they
+  // count here as recorded-then-dropped.
+  std::uint64_t recorded() const noexcept {
+    return recorded_ + merge_dropped_;
+  }
+  // Events lost to local wraparound plus drops inherited via merge().
+  std::uint64_t dropped() const noexcept {
+    return recorded_ - size() + merge_dropped_;
+  }
 
   // Held events, oldest first.
   std::vector<TraceEvent> events() const;
@@ -128,6 +145,7 @@ class TraceRing {
   bool enabled_ = false;
   std::size_t capacity_;
   std::uint64_t recorded_ = 0;
+  std::uint64_t merge_dropped_ = 0;
   std::vector<TraceEvent> ring_;
 };
 

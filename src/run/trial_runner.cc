@@ -29,12 +29,19 @@ void TrialRunner::run_erased(std::size_t n,
   // inherits the capacity so wraparound behaviour matches a serial run.
   obs::MetricsRegistry& dst_metrics = obs::MetricsRegistry::current();
   obs::TraceRing& dst_trace = obs::TraceRing::current();
+  obs::SpanRegistry& dst_spans = obs::SpanRegistry::current();
   const bool metrics_enabled = dst_metrics.enabled();
   const bool trace_enabled = dst_trace.enabled();
+  const bool spans_enabled = dst_spans.enabled();
+  // One epoch per run() against this destination: folded into every trial's
+  // span seed so two sequential runs with identical trial seeds (two bench
+  // cells merging into the same registry) cannot collide on span ids.
+  const std::uint64_t span_epoch = spans_enabled ? dst_spans.bump_epoch() : 0;
   const std::size_t trace_capacity = dst_trace.capacity();
 
   std::vector<std::unique_ptr<obs::MetricsRegistry>> registries(n);
   std::vector<std::unique_ptr<obs::TraceRing>> rings(n);
+  std::vector<std::unique_ptr<obs::SpanRegistry>> span_regs(n);
   std::vector<std::exception_ptr> errors(n);
 
   {
@@ -45,14 +52,24 @@ void TrialRunner::run_erased(std::size_t n,
         metrics->set_enabled(metrics_enabled);
         auto ring = std::make_unique<obs::TraceRing>(trace_capacity);
         ring->set_enabled(trace_enabled);
+        auto spans = std::make_unique<obs::SpanRegistry>();
+        spans->set_enabled(spans_enabled);
         const obs::ScopedMetricsRegistry metrics_scope(*metrics);
         const obs::ScopedTraceRing trace_scope(*ring);
+        const obs::ScopedSpanRegistry span_scope(*spans);
         TrialContext ctx;
         ctx.index = i;
         ctx.total = n;
         ctx.seed = trial_seed(cfg_.base_seed, i);
+        // Span ids derive from (run epoch, trial seed), never the worker
+        // thread, and each trial renders on its own Perfetto track.
+        std::uint64_t span_seed_state =
+            ctx.seed ^ (0x9e3779b97f4a7c15ULL * span_epoch);
+        spans->set_seed(util::split_mix64(span_seed_state));
+        spans->set_track(static_cast<std::uint32_t>(i));
         ctx.metrics = metrics.get();
         ctx.trace = ring.get();
+        ctx.spans = spans.get();
         try {
           body(ctx);
         } catch (...) {
@@ -60,6 +77,7 @@ void TrialRunner::run_erased(std::size_t n,
         }
         registries[i] = std::move(metrics);
         rings[i] = std::move(ring);
+        span_regs[i] = std::move(spans);
       });
     }
     pool.wait_idle();
@@ -73,6 +91,7 @@ void TrialRunner::run_erased(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) {
       dst_metrics.merge(*registries[i]);
       dst_trace.merge(*rings[i]);
+      dst_spans.merge(*span_regs[i]);
     }
   }
 }

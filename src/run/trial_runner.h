@@ -13,9 +13,9 @@
 //  * every trial gets an independent seed derived from (base_seed, index)
 //    via SplitMix64, so trial i's world is identical no matter which worker
 //    runs it or in what order;
-//  * every trial gets fresh obs::MetricsRegistry / obs::TraceRing instances
-//    installed as the thread-current sinks for its duration, so the global
-//    singletons are never touched concurrently;
+//  * every trial gets fresh obs::MetricsRegistry / obs::TraceRing /
+//    obs::SpanRegistry instances installed as the thread-current sinks for
+//    its duration, so the global singletons are never touched concurrently;
 //  * results, metrics, and traces are merged in trial-index order on the
 //    calling thread once every trial has finished.
 //
@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace lg::run {
@@ -41,16 +42,19 @@ namespace lg::run {
 // so neighbouring trials get statistically independent streams.
 std::uint64_t trial_seed(std::uint64_t base_seed, std::size_t index) noexcept;
 
-// Handed to each trial body. `metrics`/`trace` are the trial-local sinks —
-// already installed as the thread-current instances, so code that resolves
-// obs::MetricsRegistry::current() (SimWorld, BgpEngine, ...) lands in them
-// without ever naming them.
+// Handed to each trial body. `metrics`/`trace`/`spans` are the trial-local
+// sinks — already installed as the thread-current instances, so code that
+// resolves obs::MetricsRegistry::current() (SimWorld, BgpEngine, ...) lands
+// in them without ever naming them. The span registry is seeded with the
+// trial seed (deterministic ids) and tracked by trial index (one Perfetto
+// lane per trial).
 struct TrialContext {
   std::size_t index = 0;
   std::size_t total = 0;
   std::uint64_t seed = 0;
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRing* trace = nullptr;
+  obs::SpanRegistry* spans = nullptr;
 };
 
 struct TrialRunnerConfig {

@@ -179,6 +179,95 @@ std::string Histogram::render(std::size_t width) const {
   return os.str();
 }
 
+LogHistogram::LogHistogram(double min_value, double growth,
+                           std::size_t max_buckets)
+    : min_value_(min_value > 0.0 ? min_value : 1e-9),
+      growth_(growth > 1.0 ? growth : 2.0),
+      counts_(max_buckets == 0 ? 1 : max_buckets, 0) {}
+
+std::size_t LogHistogram::bucket_for(double x) const noexcept {
+  // log() drift at exact bucket edges would make determinism depend on libm;
+  // walk the geometric edges instead (bucket counts are small by design).
+  double edge = min_value_;
+  for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
+    edge *= growth_;
+    if (x < edge) return i;
+  }
+  return counts_.size() - 1;  // open-ended overflow
+}
+
+void LogHistogram::add(double x) noexcept {
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++total_;
+  sum_ += x;
+  if (x < min_value_) {
+    ++underflow_;
+    return;
+  }
+  ++counts_[bucket_for(x)];
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  if (other.total_ == 0) return;
+  if (other.min_value_ != min_value_ || other.growth_ != growth_ ||
+      other.counts_.size() != counts_.size()) {
+    return;
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+double LogHistogram::bucket_low(std::size_t i) const noexcept {
+  double edge = min_value_;
+  for (std::size_t k = 0; k < i; ++k) edge *= growth_;
+  return edge;
+}
+
+double LogHistogram::bucket_high(std::size_t i) const noexcept {
+  return bucket_low(i + 1);
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;
+  if (rank <= underflow_) return std::min(min_value_, max_);
+  rank -= underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (rank <= counts_[i]) {
+      // The last bucket is open-ended: its only honest upper bound is the
+      // recorded max. Any other bucket reports its high edge, clamped so a
+      // quantile never exceeds the recorded max.
+      if (i + 1 == counts_.size()) return max_;
+      return std::min(bucket_high(i), max_);
+    }
+    rank -= counts_[i];
+  }
+  return max_;
+}
+
+double LogHistogram::mean() const noexcept {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
 std::uint64_t Tally::get(const std::string& key) const {
   const auto it = counts_.find(key);
   return it == counts_.end() ? 0 : it->second;

@@ -100,6 +100,56 @@ class Histogram {
   std::size_t overflow_ = 0;
 };
 
+// Log-bucketed (geometric) histogram for latency-style distributions whose
+// interesting range spans orders of magnitude — per-phase episode latencies
+// run from sub-second probe rounds to multi-hour holddowns, where fixed-width
+// bins either blur the head or truncate the tail. Bucket i covers
+// [min_value * growth^i, min_value * growth^(i+1)); one extra underflow
+// bucket catches x < min_value and the last bucket is open-ended overflow.
+// Quantiles are nearest-rank over bucket counts and report the bucket's
+// upper bound (a conservative value: the true quantile is <= it).
+class LogHistogram {
+ public:
+  // `growth` > 1 is the per-bucket ratio; `max_buckets` includes the
+  // overflow bucket but not the underflow one.
+  LogHistogram(double min_value, double growth, std::size_t max_buckets);
+
+  void add(double x) noexcept;
+  // Accumulate another histogram. The two must share (min_value, growth,
+  // max_buckets); mismatched geometry is ignored (merge of incompatible
+  // histograms is a bug upstream, not something to blur statistically).
+  void merge(const LogHistogram& other) noexcept;
+
+  std::size_t total() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::size_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t underflow() const noexcept { return underflow_; }
+  double bucket_low(std::size_t i) const noexcept;
+  double bucket_high(std::size_t i) const noexcept;
+
+  // Nearest-rank quantile, q in [0, 1]; returns 0 when empty. Exact for
+  // min (underflow reports min_value's low edge as 0) and clamped to the
+  // recorded max for the overflow bucket.
+  double quantile(double q) const noexcept;
+  // Exact mean (running sum / count), unaffected by bucketing.
+  double mean() const noexcept;
+  double min() const noexcept { return total_ ? min_ : 0.0; }
+  double max() const noexcept { return total_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t bucket_for(double x) const noexcept;
+  double min_value_;
+  double growth_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 // Counter keyed by string, for tallying categorical outcomes in experiments.
 class Tally {
  public:

@@ -18,6 +18,7 @@
 #include "measure/responsiveness.h"
 #include "measure/vantage.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "topology/generator.h"
 #include "util/scheduler.h"
 
@@ -59,7 +60,10 @@ class SimWorld {
   // Drain the scheduler: BGP quiesces. With LG_CHECK=1 the quiesced state
   // is audited against every lg::check invariant (no-op otherwise).
   void converge() {
+    auto& spans = obs::SpanRegistry::current();
+    const obs::SpanId span = spans.begin(sched_.now(), "world.converge");
     sched_.run();
+    spans.end(span, sched_.now());
     publish_scheduler_metrics();
     check::maybe_audit(*engine_, "SimWorld::converge");
   }

@@ -6,11 +6,14 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <string>
 
 #include "core/lifeguard.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/json.h"
 #include "workload/scenarios.h"
@@ -144,10 +147,19 @@ TEST(Trace, ClearResetsCounts) {
   EXPECT_TRUE(ring.events().empty());
 }
 
-TEST(Trace, EveryKindHasAName) {
-  for (int k = 0; k <= static_cast<int>(TraceKind::kRepairReverted); ++k) {
-    EXPECT_STRNE(obs::trace_kind_name(static_cast<TraceKind>(k)), "?");
+// Exhaustiveness regression: every enumerator below the kCount sentinel must
+// map to a real, unique name. Adding a TraceKind without extending
+// trace_kind_name() fails here (the switch's default-ish "?" leaks through),
+// and a copy-pasted duplicate name fails the uniqueness half.
+TEST(Trace, EveryKindHasAUniqueName) {
+  std::set<std::string> names;
+  for (int k = 0; k < static_cast<int>(TraceKind::kCount); ++k) {
+    const char* name = obs::trace_kind_name(static_cast<TraceKind>(k));
+    EXPECT_STRNE(name, "?") << "unnamed TraceKind enumerator " << k;
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate trace kind name: " << name;
   }
+  EXPECT_STREQ(obs::trace_kind_name(TraceKind::kCount), "?");
 }
 
 // ------------------------------------------------------------------- json
@@ -188,8 +200,9 @@ TEST(Json, WriterProducesNestedDocument) {
 
 // ----------------------------------------------------------------- report
 
-// Golden-file style check: a small report serialized from a local registry
-// and ring must match byte-for-byte. This pins the v1 schema.
+// Golden-file style check: a small report serialized from a local registry,
+// ring, and span registry must match byte-for-byte. This pins the v2 schema
+// (v1 fields unchanged, plus traces.ring_dropped and the spans profile).
 TEST(Report, GoldenJson) {
   MetricsRegistry reg;
   reg.counter("lg.test.hits").inc(3);
@@ -204,6 +217,13 @@ TEST(Report, GoldenJson) {
   ring.record(1.5, TraceKind::kProbeIssued, 10, 20);
   ring.record(2.5, TraceKind::kRepairReverted, 11, 0, 3.25);
 
+  obs::SpanRegistry spans;
+  spans.set_enabled(true);
+  spans.set_seed(7);
+  const obs::SpanId work = spans.begin(1.0, "demo.work", 0, 10, 20);
+  spans.end(work, 2.5);             // closed, duration 1.5 s
+  (void)spans.begin(3.0, "demo.idle");  // left open
+
   obs::RunReport report("golden");
   report.set_config("seed", 7.0);
   report.set_config("label", "demo");
@@ -211,10 +231,11 @@ TEST(Report, GoldenJson) {
   report.headline("score", 0.5);
   report.capture_metrics(reg);
   report.capture_traces(ring);
+  report.capture_spans(spans);
 
   const std::string expected =
       "{\n"
-      "  \"schema\": \"lg.run_report.v1\",\n"
+      "  \"schema\": \"lg.run_report.v2\",\n"
       "  \"report\": \"golden\",\n"
       "  \"config\": {\n"
       "    \"flag\": true,\n"
@@ -252,6 +273,7 @@ TEST(Report, GoldenJson) {
       "  \"traces\": {\n"
       "    \"recorded\": 2,\n"
       "    \"dropped\": 0,\n"
+      "    \"ring_dropped\": 0,\n"
       "    \"events\": [\n"
       "      {\n"
       "        \"t\": 1.5,\n"
@@ -268,9 +290,64 @@ TEST(Report, GoldenJson) {
       "        \"value\": 3.25\n"
       "      }\n"
       "    ]\n"
+      "  },\n"
+      "  \"spans\": {\n"
+      "    \"captured\": true,\n"
+      "    \"count\": 1,\n"
+      "    \"open\": 1,\n"
+      "    \"by_name\": {\n"
+      "      \"demo.idle\": {\n"
+      "        \"count\": 0,\n"
+      "        \"open\": 1,\n"
+      "        \"total_seconds\": 0,\n"
+      "        \"mean\": 0,\n"
+      "        \"min\": 0,\n"
+      "        \"max\": 0,\n"
+      "        \"p50\": 0,\n"
+      "        \"p90\": 0,\n"
+      "        \"p99\": 0\n"
+      "      },\n"
+      "      \"demo.work\": {\n"
+      "        \"count\": 1,\n"
+      "        \"open\": 0,\n"
+      "        \"total_seconds\": 1.5,\n"
+      "        \"mean\": 1.5,\n"
+      "        \"min\": 1.5,\n"
+      "        \"max\": 1.5,\n"
+      "        \"p50\": 1.5,\n"
+      "        \"p90\": 1.5,\n"
+      "        \"p99\": 1.5\n"
+      "      }\n"
+      "    }\n"
       "  }\n"
       "}\n";
   EXPECT_EQ(report.to_json(), expected);
+}
+
+// A report that never captured spans still carries the (empty) v2 section,
+// so downstream schema validation does not need a conditional.
+TEST(Report, SpansSectionPresentWhenNotCaptured) {
+  obs::RunReport report("nospans");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"spans\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"captured\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"by_name\": {}"), std::string::npos);
+}
+
+// Ring wraparound drops surface in the report even though the report itself
+// kept every event it was handed.
+TEST(Report, RingDroppedSurfacesWraparound) {
+  TraceRing ring(4);
+  ring.set_enabled(true);
+  for (int i = 0; i < 6; ++i) {
+    ring.record(static_cast<double>(i), TraceKind::kUpdateSent);
+  }
+  obs::RunReport report("ringdrop");
+  report.capture_traces(ring);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"recorded\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"ring_dropped\": 2"), std::string::npos);
 }
 
 TEST(Report, WriteFileRoundTrips) {

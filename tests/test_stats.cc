@@ -180,5 +180,105 @@ TEST(StringsTest, RenderTableAligns) {
   EXPECT_NE(s.find("----"), std::string::npos);
 }
 
+// ------------------------------------------------------------ LogHistogram
+
+TEST(LogHistogramTest, EmptyIsAllZero) {
+  LogHistogram h(1e-3, 2.0, 40);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, SingleSampleQuantilesClampToIt) {
+  LogHistogram h(1e-3, 2.0, 40);
+  h.add(1.5);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  EXPECT_EQ(h.min(), 1.5);
+  EXPECT_EQ(h.max(), 1.5);
+  // Every quantile must report the sample itself, not its bucket edge.
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 1.5) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, BucketBoundariesAreHalfOpen) {
+  // Buckets of h: [1, 2), [2, 4), [4, 8), [8, inf). A sample exactly on an
+  // edge lands in the bucket whose low edge it is.
+  LogHistogram h(1.0, 2.0, 4);
+  h.add(1.0);
+  h.add(2.0);   // low edge of bucket 1, not high edge of bucket 0
+  h.add(3.999);
+  h.add(4.0);
+  h.add(100.0);  // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+TEST(LogHistogramTest, UnderflowCountedButNeverOverReported) {
+  LogHistogram h(1.0, 2.0, 4);
+  h.add(0.25);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.total(), 2u);
+  // All mass is below min_value: quantiles report no more than the max seen.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.5);
+  EXPECT_EQ(h.min(), 0.25);
+}
+
+TEST(LogHistogramTest, QuantileNeverExceedsRecordedMax) {
+  LogHistogram h(1.0, 2.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(1e6);  // deep in the overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e6);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1e6);
+}
+
+TEST(LogHistogramTest, MergeEqualsCombinedStream) {
+  LogHistogram a(1e-3, 2.0, 40), b(1e-3, 2.0, 40), all(1e-3, 2.0, 40);
+  for (int i = 0; i < 60; ++i) {
+    const double x = 0.0007 * (i + 1) * (i + 1);  // spans under- to overflow
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  EXPECT_EQ(a.underflow(), all.underflow());
+  // NEAR, not DOUBLE_EQ: the two sums accumulate in different orders.
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, MergeMismatchedGeometryIsIgnored) {
+  LogHistogram a(1e-3, 2.0, 40);
+  LogHistogram b(1e-3, 4.0, 40);
+  a.add(1.0);
+  b.add(2.0);
+  a.merge(b);  // incompatible: silently a no-op, not a statistical blur
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.max(), 1.0);
+}
+
+TEST(LogHistogramTest, DegenerateParamsAreClamped) {
+  LogHistogram h(-1.0, 0.5, 0);  // nonsense => 1e-9 floor, x2 growth, 1 bucket
+  h.add(5.0);
+  EXPECT_EQ(h.buckets(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
 }  // namespace
 }  // namespace lg::util
