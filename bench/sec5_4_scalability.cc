@@ -106,6 +106,51 @@ int main() {
             util::fixed(seconds_per_outage.min(), 0) + " s / " +
                 util::fixed(seconds_per_outage.max(), 0) + " s");
 
+  // ---------------- convergence scalability (frontier pump) ----------------
+  // Growing worlds, ~20 stub origins announcing at t=0 so every delivery
+  // quantum carries work for many receivers. Simulation results (messages,
+  // convergence sim-time) are deterministic and land in stdout + JSON;
+  // wall-clock — the only thing LG_WORLD_THREADS may change — goes to stderr
+  // only, so this report stays byte-diffable across thread counts (the CI
+  // determinism gate relies on that).
+  bench::section("Convergence scalability (frontier pump)");
+  const std::size_t world_threads = bgp::BgpEngine::world_threads_from_env();
+  for (const std::uint32_t stubs : {150u, 400u, 800u}) {
+    workload::SimWorldConfig cfg;
+    cfg.topology.num_stubs = stubs;
+    cfg.topology.seed = 5400 + stubs;
+    cfg.engine.seed = 5400 + stubs;
+    cfg.announce_infrastructure = false;
+    workload::SimWorld w(cfg);
+    const auto& all_stubs = w.topology().stubs;
+    const std::size_t stride = all_stubs.size() / 20;
+    for (std::size_t i = 0; i < 20; ++i) {
+      const AsId origin = all_stubs[i * stride];
+      bgp::OriginPolicy policy;
+      policy.default_path = bgp::AsPath{origin};
+      w.engine().originate(
+          origin, topo::AddressPlan::production_prefix(origin), policy);
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
+    w.converge();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+    const std::string cell = "stubs=" + std::to_string(stubs);
+    bench::kv(cell + " converge",
+              std::to_string(w.graph().num_ases()) + " ases, " +
+                  std::to_string(w.engine().total_messages()) +
+                  " updates, quiesced at t=" +
+                  util::fixed(w.engine().last_activity_time(), 1) + " s");
+    jr->headline("convergence_updates_" + cell,
+                 static_cast<double>(w.engine().total_messages()));
+    jr->headline("convergence_simtime_s_" + cell,
+                 w.engine().last_activity_time());
+    std::fprintf(stderr,
+                 "[sec5_4] %s world_threads=%zu converge wall=%.2f s\n",
+                 cell.c_str(), world_threads, wall_s);
+  }
+
   jr->headline("amortized_option_probes_per_reverse_path", per_path_options);
   jr->headline("total_probes_per_refreshed_path", per_path_total);
   jr->headline("probes_per_isolated_outage", probes_per_outage.mean());

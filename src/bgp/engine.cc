@@ -1,13 +1,23 @@
 #include "bgp/engine.h"
 
 #include <algorithm>
+#include <cmath>
+#include <exception>
 #include <stdexcept>
 
 #include "faults/fault_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace lg::bgp {
+
+namespace {
+// Below this many receivers in a frontier the fan-out overhead (submit +
+// wake + join) exceeds the decision-process work; run phase 1 inline. A
+// constant independent of the worker count, so it never affects results.
+constexpr std::size_t kMinParallelReceivers = 4;
+}  // namespace
 
 BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
                      EngineConfig cfg)
@@ -29,25 +39,82 @@ BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
     c_updates_lost_ = &reg.counter("lg.bgp.updates_lost");
     c_updates_stale_dropped_ = &reg.counter("lg.bgp.updates_stale_dropped");
   }
-  for (const AsId id : graph.as_ids()) {
-    speakers_.emplace(id, BgpSpeaker(id, graph, SpeakerConfig{}));
+
+  as_ids_ = graph.as_ids();  // sorted: index order == AS-id order
+  const std::size_t n = as_ids_.size();
+  speakers_.reserve(n);
+  for (const AsId id : as_ids_) {
+    speakers_.emplace_back(id, graph, SpeakerConfig{});
   }
+  if (n != 0) {
+    min_id_ = as_ids_.front();
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(as_ids_.back()) - min_id_ + 1;
+    // Generated topologies use contiguous ids, so the offset table is
+    // direct-mapped; fall back to a hash map only for pathological id spans
+    // (hand-built graphs with, say, real sparse ASNs).
+    if (span <= 4 * static_cast<std::uint64_t>(n) + 1024) {
+      id_to_index_.assign(static_cast<std::size_t>(span), kNoIndex);
+      for (std::size_t i = 0; i < n; ++i) {
+        id_to_index_[as_ids_[i] - min_id_] = static_cast<std::uint32_t>(i);
+      }
+    } else {
+      sparse_index_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        sparse_index_.emplace(as_ids_[i], static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+  sent_by_.assign(n, 0);
+  best_changes_.assign(n, 0);
+  // Per-receiver shards so phase-1 workers never share a map; only fault
+  // runs can reorder deliveries, so only they pay the allocation.
+  if (faults_->enabled()) delivered_seq_.resize(n);
+  work_slot_.assign(n, kNoIndex);
+
+  world_threads_ =
+      cfg_.world_threads != 0
+          ? cfg_.world_threads
+          : (util::in_parallel_region() ? 1 : world_threads_from_env());
 }
 
-BgpSpeaker& BgpEngine::speaker(AsId id) {
-  const auto it = speakers_.find(id);
-  if (it == speakers_.end()) {
+BgpEngine::~BgpEngine() = default;
+
+std::size_t BgpEngine::world_threads_from_env() {
+  return util::thread_count_from_env("LG_WORLD_THREADS", 1);
+}
+
+util::ThreadPool* BgpEngine::world_pool() {
+  if (world_threads_ <= 1) return nullptr;
+  if (!world_pool_) {
+    world_pool_ = std::make_unique<util::ThreadPool>(world_threads_);
+  }
+  return world_pool_.get();
+}
+
+std::uint32_t BgpEngine::index_of(AsId id) const noexcept {
+  if (!sparse_index_.empty()) {
+    const auto it = sparse_index_.find(id);
+    return it == sparse_index_.end() ? kNoIndex : it->second;
+  }
+  if (id < min_id_) return kNoIndex;
+  const std::uint64_t off = static_cast<std::uint64_t>(id) - min_id_;
+  if (off >= id_to_index_.size()) return kNoIndex;
+  return id_to_index_[static_cast<std::size_t>(off)];
+}
+
+std::uint32_t BgpEngine::checked_index(AsId id) const {
+  const std::uint32_t idx = index_of(id);
+  if (idx == kNoIndex) {
     throw std::out_of_range("unknown AS " + std::to_string(id));
   }
-  return it->second;
+  return idx;
 }
+
+BgpSpeaker& BgpEngine::speaker(AsId id) { return speakers_[checked_index(id)]; }
 
 const BgpSpeaker& BgpEngine::speaker(AsId id) const {
-  const auto it = speakers_.find(id);
-  if (it == speakers_.end()) {
-    throw std::out_of_range("unknown AS " + std::to_string(id));
-  }
-  return it->second;
+  return speakers_[checked_index(id)];
 }
 
 void BgpEngine::remove_observer(RouteObserver* observer) {
@@ -115,7 +182,8 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
                [this, from, to, prefix] { try_send(from, to, prefix); });
     return;
   }
-  BgpSpeaker& sender = speaker(from);
+  const std::uint32_t from_idx = checked_index(from);
+  BgpSpeaker& sender = speakers_[from_idx];
   const auto current = sender.export_path(prefix, to);
   const auto* last = sender.last_advertised(prefix, to);
   const bool had_advertised = last != nullptr && last->has_value();
@@ -145,7 +213,7 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
   if (faults_->enabled() && faults_->lose_update(from, to, sched_->now())) {
     mrai.ready_at = sched_->now() + mrai_for(from);
     ++total_messages_;
-    ++sent_by_[from];
+    ++sent_by_[from_idx];
     c_updates_sent_->inc();
     // A lost update is neither an announce nor a withdrawal on the wire;
     // book it under its own counter so sent == announces + withdrawals +
@@ -160,7 +228,7 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
   mrai.ready_at = sched_->now() + mrai_for(from);
 
   ++total_messages_;
-  ++sent_by_[from];
+  ++sent_by_[from_idx];
   c_updates_sent_->inc();
   if (msg.type == MsgType::kAnnounce) {
     c_announces_sent_->inc();
@@ -173,10 +241,8 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
   if (faults_->enabled()) {
     delay += faults_->update_delay(from, to, sched_->now());
   }
-  // Move the message into the delivery lambda: the path/communities buffers
-  // built above transfer instead of being copied per in-flight update.
   delivery_scheduled();
-  sched_->after(delay, [this, msg = std::move(msg)] { deliver(msg); });
+  enqueue_delivery(sched_->now() + delay, std::move(msg));
 }
 
 void BgpEngine::delivery_scheduled() {
@@ -196,74 +262,257 @@ void BgpEngine::delivery_done() {
   }
 }
 
-void BgpEngine::deliver(const UpdateMessage& msg) {
-  const double now = sched_->now();
-  // Fault plane: the session reset while this update was in flight. Model
-  // TCP/session recovery by re-queueing delivery for when it comes back up;
-  // any newer state sent after restoration diffs against adj-out and
-  // supersedes this message shortly after.
-  if (faults_->enabled() && !faults_->session_up(msg.from, msg.to, now)) {
-    faults_->note_session_hit(msg.from, msg.to, now);
-    const double up = faults_->session_restored_at(msg.from, msg.to, now);
-    sched_->at(up + 1e-3, [this, msg] { deliver(msg); });
-    return;
+void BgpEngine::enqueue_delivery(double due, UpdateMessage msg) {
+  // First quantum boundary at or after the arrival time. One pump tick per
+  // live bucket: later arrivals for the same quantum just append. A bucket
+  // cannot be resurrected after its tick ran — anything enqueued *during*
+  // the tick at the bucket's own instant lands back in the map and
+  // re-schedules, and the scheduler's batch extraction runs it in the same
+  // step, preserving at-that-instant delivery.
+  const auto bucket = static_cast<std::int64_t>(
+      std::ceil(due / cfg_.pump_quantum));
+  const auto [it, inserted] = frontier_.try_emplace(bucket);
+  if (inserted && !frontier_spares_.empty()) {
+    it->second = std::move(frontier_spares_.back());
+    frontier_spares_.pop_back();
   }
-  // Fault-plane requeues can reorder deliveries on a session: an update
-  // requeued across a reset lands at restored_at + 1e-3, the same instant
-  // the post-restore adj-out retransmit path uses, so without this check a
-  // stale announce could be applied after (or instead of) the fresh diff
-  // and pin the receiver to an outdated path until the next unrelated
-  // update. Sequence numbers are per-(session, prefix) and monotone at the
-  // sender, so anything at or below the last applied seq is superseded.
-  if (faults_->enabled()) {
-    const SessionPrefixKey key{
-        (static_cast<std::uint64_t>(msg.from) << 32) | msg.to, msg.prefix};
-    std::uint64_t& applied = delivered_seq_[key];
-    if (msg.seq <= applied) {
-      c_updates_stale_dropped_->inc();
-      trace_->record(now, obs::TraceKind::kStaleUpdateDropped, msg.from,
-                     msg.to);
-      delivery_done();  // terminal: the message leaves flight here
-      return;
+  it->second.push_back(std::move(msg));
+  if (inserted) {
+    sched_->at(static_cast<double>(bucket) * cfg_.pump_quantum,
+               [this, bucket] { pump_frontier(bucket); });
+  }
+}
+
+void BgpEngine::process_receiver(ReceiverWork& w,
+                                 const std::vector<UpdateMessage>& msgs,
+                                 double now) {
+  BgpSpeaker& receiver = speakers_[w.receiver];
+  const bool faults_on = faults_->enabled();
+  auto* seqs = faults_on ? &delivered_seq_[w.receiver] : nullptr;
+  // With a single message there is nothing to net out: the frontier outcome
+  // is exactly the per-event outcome, so skip the best-route snapshot and
+  // the post-loop value comparison (the dominant case in sparse phases of
+  // convergence, where copying Routes would swamp the import itself).
+  const bool single = w.msg_indices.size() == 1;
+  w.outcomes.resize(w.msg_indices.size());
+  for (std::size_t k = 0; k < w.msg_indices.size(); ++k) {
+    const UpdateMessage& msg = msgs[w.msg_indices[k]];
+    MsgOutcome& out = w.outcomes[k];
+    // Fault plane: the session reset while this update was in flight. Model
+    // TCP/session recovery by re-queueing delivery for when it comes back
+    // up; any newer state sent after restoration diffs against adj-out and
+    // supersedes this message shortly after. (session_up/restored_at are
+    // pure reads — the bookkeeping hit is recorded in the merge phase.)
+    if (faults_on && !faults_->session_up(msg.from, msg.to, now)) {
+      out.kind = MsgOutcome::kRequeue;
+      out.requeue_at =
+          faults_->session_restored_at(msg.from, msg.to, now) + 1e-3;
+      continue;
     }
-    applied = msg.seq;
+    // Fault-plane requeues can reorder deliveries on a session: an update
+    // requeued across a reset lands at the same quantum the post-restore
+    // adj-out retransmit uses, so without this check a stale announce could
+    // be applied after (or instead of) the fresh diff and pin the receiver
+    // to an outdated path until the next unrelated update. Sequence numbers
+    // are per-(session, prefix) and monotone at the sender, so anything at
+    // or below the last applied seq is superseded.
+    if (faults_on) {
+      const SessionPrefixKey key{
+          (static_cast<std::uint64_t>(msg.from) << 32) | msg.to, msg.prefix};
+      std::uint64_t& applied = (*seqs)[key];
+      if (msg.seq <= applied) {
+        out.kind = MsgOutcome::kStale;
+        continue;
+      }
+      applied = msg.seq;
+    }
+    out.kind = MsgOutcome::kDelivered;
+    if (single) {
+      out.best_changed = receiver.process_update(msg, now);
+      if (out.best_changed) {
+        PrefixTouch touch;
+        touch.prefix = msg.prefix;
+        touch.any_changed = true;
+        touch.net_changed = true;
+        w.prefixes.push_back(std::move(touch));
+      }
+      if (receiver.config().damping_enabled) {
+        out.damping_delay =
+            receiver.damping_reuse_delay(msg.prefix, msg.from, now);
+      }
+      continue;
+    }
+    // Snapshot the pre-frontier best on first touch of each prefix, so the
+    // merge phase can detect *net* route changes across the whole frontier.
+    std::size_t touch_idx = w.prefixes.size();
+    for (std::size_t t = 0; t < w.prefixes.size(); ++t) {
+      if (w.prefixes[t].prefix == msg.prefix) {
+        touch_idx = t;
+        break;
+      }
+    }
+    if (touch_idx == w.prefixes.size()) {
+      PrefixTouch touch;
+      touch.prefix = msg.prefix;
+      if (const Route* best = receiver.best_route(msg.prefix)) {
+        touch.before = *best;
+      }
+      w.prefixes.push_back(std::move(touch));
+    }
+    out.best_changed = receiver.process_update(msg, now);
+    if (out.best_changed) w.prefixes[touch_idx].any_changed = true;
+    // Flap damping: if this session is suppressed, the merge phase arranges
+    // a re-evaluation once the penalty decays to the reuse threshold.
+    if (receiver.config().damping_enabled) {
+      out.damping_delay = receiver.damping_reuse_delay(msg.prefix, msg.from, now);
+    }
   }
-  last_activity_ = now;
-  ++delivered_total_;
-  c_updates_delivered_->inc();
-  trace_->record(now, obs::TraceKind::kUpdateDelivered, msg.from, msg.to);
-  BgpSpeaker& receiver = speaker(msg.to);
-  const bool best_changed = receiver.process_update(msg, now);
-  if (best_changed) {
-    ++best_changes_[msg.to];
-    c_best_path_changes_->inc();
-    trace_->record(now, obs::TraceKind::kBestPathChange, msg.to);
-    notify(msg.to, msg.prefix);
-    schedule_exports(msg.to, msg.prefix);
+  if (single) return;  // net_changed already decided above
+  for (PrefixTouch& touch : w.prefixes) {
+    const Route* cur = receiver.best_route(touch.prefix);
+    const bool same =
+        (cur == nullptr && !touch.before.has_value()) ||
+        (cur != nullptr && touch.before.has_value() && *cur == *touch.before);
+    touch.net_changed = touch.any_changed && !same;
   }
-  // Flap damping: if this session is suppressed, arrange to re-evaluate the
-  // neighbor's route once its penalty decays to the reuse threshold.
-  if (receiver.config().damping_enabled) {
-    if (const auto delay =
-            receiver.damping_reuse_delay(msg.prefix, msg.from, now)) {
-      const AsId to = msg.to;
-      const AsId from = msg.from;
-      const Prefix prefix = msg.prefix;
-      sched_->after(*delay + 0.001, [this, to, from, prefix] {
-        BgpSpeaker& spk = speaker(to);
-        if (spk.recheck_damping(prefix, from, sched_->now())) {
-          ++best_changes_[to];
-          c_best_path_changes_->inc();
-          trace_->record(sched_->now(), obs::TraceKind::kBestPathChange, to);
-          notify(to, prefix);
-          schedule_exports(to, prefix);
+}
+
+void BgpEngine::pump_frontier(std::int64_t bucket) {
+  const auto fit = frontier_.find(bucket);
+  if (fit == frontier_.end()) return;
+  std::vector<UpdateMessage> msgs = std::move(fit->second);
+  frontier_.erase(fit);
+  const double now = sched_->now();
+
+  // Group messages by receiver. Per-receiver arrival order is preserved in
+  // msg_indices; cross-receiver order is irrelevant because receivers only
+  // mutate their own state in phase 1 and the merge runs in AS-index order.
+  if (work_slot_.size() < speakers_.size()) {
+    work_slot_.assign(speakers_.size(), kNoIndex);
+  }
+  work_used_ = 0;
+  work_order_.clear();
+  for (std::uint32_t i = 0; i < msgs.size(); ++i) {
+    const std::uint32_t r = checked_index(msgs[i].to);
+    std::uint32_t slot = work_slot_[r];
+    if (slot == kNoIndex) {
+      slot = static_cast<std::uint32_t>(work_used_++);
+      if (slot == work_.size()) work_.emplace_back();
+      work_[slot].reset(r);
+      work_slot_[r] = slot;
+      work_order_.push_back(slot);
+    }
+    work_[slot].msg_indices.push_back(i);
+  }
+  std::sort(work_order_.begin(), work_order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return work_[a].receiver < work_[b].receiver;
+            });
+
+  // ---- Phase 1: per-receiver import/decision, fanned out when it pays.
+  // Workers touch disjoint ReceiverWork slots and disjoint speakers; no
+  // RNG, scheduler, metrics, or fault mutation happens here.
+  util::ThreadPool* pool = world_pool();
+  if (pool != nullptr && work_order_.size() >= kMinParallelReceivers) {
+    const std::size_t jobs =
+        std::min(world_threads_ * 2, work_order_.size());
+    const std::size_t per_job = (work_order_.size() + jobs - 1) / jobs;
+    std::vector<std::exception_ptr> errors(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      const std::size_t lo = j * per_job;
+      const std::size_t hi = std::min(lo + per_job, work_order_.size());
+      if (lo >= hi) break;
+      pool->submit([this, &msgs, &errors, j, lo, hi, now] {
+        try {
+          for (std::size_t g = lo; g < hi; ++g) {
+            process_receiver(work_[work_order_[g]], msgs, now);
+          }
+        } catch (...) {
+          errors[j] = std::current_exception();
         }
       });
     }
+    pool->wait_idle();
+    for (const std::exception_ptr& err : errors) {
+      if (err) std::rethrow_exception(err);
+    }
+  } else {
+    for (const std::uint32_t slot : work_order_) {
+      process_receiver(work_[slot], msgs, now);
+    }
   }
-  // After the cascade above: any exports this delivery triggered are already
-  // counted in flight, so a still-busy pump stays open.
-  delivery_done();
+
+  // ---- Phase 2: deterministic merge, receivers in AS-index order, each
+  // receiver's messages in arrival order. Every side effect the old
+  // event-at-a-time pump performed per delivery happens here, in an order
+  // that never depends on the worker count.
+  std::size_t terminal = 0;
+  for (const std::uint32_t slot : work_order_) {
+    ReceiverWork& w = work_[slot];
+    const AsId rid = as_ids_[w.receiver];
+    for (std::size_t k = 0; k < w.msg_indices.size(); ++k) {
+      UpdateMessage& msg = msgs[w.msg_indices[k]];
+      const MsgOutcome& out = w.outcomes[k];
+      switch (out.kind) {
+        case MsgOutcome::kRequeue:
+          faults_->note_session_hit(msg.from, msg.to, now);
+          enqueue_delivery(out.requeue_at, std::move(msg));
+          break;
+        case MsgOutcome::kStale:
+          c_updates_stale_dropped_->inc();
+          trace_->record(now, obs::TraceKind::kStaleUpdateDropped, msg.from,
+                         msg.to);
+          ++terminal;
+          break;
+        case MsgOutcome::kDelivered: {
+          last_activity_ = now;
+          ++delivered_total_;
+          c_updates_delivered_->inc();
+          trace_->record(now, obs::TraceKind::kUpdateDelivered, msg.from,
+                         msg.to);
+          if (out.best_changed) {
+            ++best_changes_[w.receiver];
+            c_best_path_changes_->inc();
+            trace_->record(now, obs::TraceKind::kBestPathChange, msg.to);
+          }
+          if (out.damping_delay) {
+            const AsId to = msg.to;
+            const AsId from = msg.from;
+            const Prefix prefix = msg.prefix;
+            sched_->after(*out.damping_delay + 0.001, [this, to, from, prefix] {
+              BgpSpeaker& spk = speaker(to);
+              if (spk.recheck_damping(prefix, from, sched_->now())) {
+                ++best_changes_[checked_index(to)];
+                c_best_path_changes_->inc();
+                trace_->record(sched_->now(), obs::TraceKind::kBestPathChange,
+                               to);
+                notify(to, prefix);
+                schedule_exports(to, prefix);
+              }
+            });
+          }
+          ++terminal;
+          break;
+        }
+      }
+    }
+    // Notify + export once per (receiver, prefix) with a *net* best-route
+    // change: a frontier that flip-flops a best route inside one quantum
+    // produces no spurious route event and no export churn.
+    for (const PrefixTouch& touch : w.prefixes) {
+      if (touch.net_changed) {
+        notify(rid, touch.prefix);
+        schedule_exports(rid, touch.prefix);
+      }
+    }
+    work_slot_[w.receiver] = kNoIndex;
+  }
+  // Terminal messages leave flight only after the cascade above: any exports
+  // this frontier triggered are already counted, so a still-busy pump span
+  // stays open across back-to-back frontiers.
+  for (; terminal > 0; --terminal) delivery_done();
+  msgs.clear();
+  frontier_spares_.push_back(std::move(msgs));
 }
 
 void BgpEngine::notify(AsId as, const Prefix& prefix) {
@@ -281,8 +530,8 @@ void BgpEngine::notify(AsId as, const Prefix& prefix) {
 void BgpEngine::reset_counters() {
   total_messages_ = 0;
   last_activity_ = sched_->now();
-  sent_by_.clear();
-  best_changes_.clear();
+  std::fill(sent_by_.begin(), sent_by_.end(), 0);
+  std::fill(best_changes_.begin(), best_changes_.end(), 0);
   // Re-base the pump delta with the phase reset; in-flight count and any
   // open pump span are untouched (messages stay in flight regardless).
   delivered_total_ = 0;
@@ -301,21 +550,21 @@ void BgpEngine::reset_counters() {
 }
 
 void BgpEngine::reexport_all() {
-  for (auto& [id, spk] : speakers_) {
-    for (const Prefix& prefix : spk.known_prefixes()) {
-      schedule_exports(id, prefix);
+  for (std::size_t i = 0; i < speakers_.size(); ++i) {
+    for (const Prefix& prefix : speakers_[i].known_prefixes()) {
+      schedule_exports(as_ids_[i], prefix);
     }
   }
 }
 
 std::uint64_t BgpEngine::messages_sent_by(AsId as) const {
-  const auto it = sent_by_.find(as);
-  return it == sent_by_.end() ? 0 : it->second;
+  const std::uint32_t idx = index_of(as);
+  return idx == kNoIndex ? 0 : sent_by_[idx];
 }
 
 std::uint64_t BgpEngine::best_changes_of(AsId as) const {
-  const auto it = best_changes_.find(as);
-  return it == best_changes_.end() ? 0 : it->second;
+  const std::uint32_t idx = index_of(as);
+  return idx == kNoIndex ? 0 : best_changes_[idx];
 }
 
 }  // namespace lg::bgp

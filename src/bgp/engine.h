@@ -5,6 +5,25 @@
 // multi-minute convergence and path exploration), link propagation delays,
 // and bookkeeping for the convergence/update-count measurements of §5.2 and
 // the load model of Table 2.
+//
+// Deliveries run through a *frontier pump*: every in-flight update is
+// assigned to the first quantum boundary at or after its arrival time
+// (EngineConfig::pump_quantum), and all updates landing in the same quantum
+// form one frontier. A frontier is processed in two phases:
+//
+//  1. per-receiver import/decision — each receiving speaker applies its
+//     frontier updates in arrival order, mutating only its own state. This
+//     phase is side-effect-free outside the speaker (no RNG, no scheduler,
+//     no metrics), so it can fan out across LG_WORLD_THREADS pool workers;
+//  2. a deterministic merge on the pump thread, in AS-index order — counters,
+//     traces, fault bookkeeping, route-change notifications, and the
+//     triggered exports (which draw MRAI/link-delay randomness) all happen
+//     here, in an order that never depends on the worker count.
+//
+// Consequence: stdout, run reports, trace rings, and span trees are
+// byte-identical for any LG_WORLD_THREADS value, while the decision-process
+// work — the dominant cost on large topologies — scales across cores. See
+// DESIGN.md "Parallel intra-world convergence".
 #pragma once
 
 #include <cstdint>
@@ -30,6 +49,10 @@ namespace lg::faults {
 class FaultPlane;
 }  // namespace lg::faults
 
+namespace lg::util {
+class ThreadPool;
+}  // namespace lg::util
+
 namespace lg::bgp {
 
 struct EngineConfig {
@@ -38,6 +61,17 @@ struct EngineConfig {
   double default_mrai = 30.0;     // per-session, per-prefix advertisement gap
   double mrai_jitter_frac = 0.25; // effective MRAI in [mrai*(1-f), mrai]
   std::uint64_t seed = 7;
+  // Frontier quantum: an update arriving at t is delivered at the first
+  // multiple of pump_quantum >= t, batching same-quantum arrivals into one
+  // frontier. Part of the simulation semantics (identical at every thread
+  // count); keep it below link_delay_min so cross-session ordering stays
+  // delay-driven.
+  double pump_quantum = 0.005;
+  // Worker threads for the per-receiver phase of each frontier. 0 resolves
+  // LG_WORLD_THREADS (default 1) and degrades to 1 inside a parallel trial
+  // region (util::in_parallel_region), so trial- and world-level pools
+  // compose without oversubscription. The value never changes results.
+  std::size_t world_threads = 0;
 };
 
 // Fired whenever a speaker's best route for a prefix changes (equivalently:
@@ -59,6 +93,7 @@ class BgpEngine {
  public:
   BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
             EngineConfig cfg = {});
+  ~BgpEngine();
   BgpEngine(const BgpEngine&) = delete;
   BgpEngine& operator=(const BgpEngine&) = delete;
 
@@ -67,6 +102,11 @@ class BgpEngine {
 
   BgpSpeaker& speaker(AsId id);
   const BgpSpeaker& speaker(AsId id) const;
+
+  // Resolved LG_WORLD_THREADS value (>= 1).
+  static std::size_t world_threads_from_env();
+  // Effective worker count of this engine's frontier pump.
+  std::size_t world_threads() const noexcept { return world_threads_; }
 
   // ---- Origination control (what BGP-Mux gave the paper's authors) ----
   // (Re)announce `prefix` from `as` under `policy`; triggers propagation.
@@ -135,10 +175,57 @@ class BgpEngine {
     std::uint64_t next_seq = 0;
   };
 
+  // ---- Frontier pump plumbing ----
+  // One message's phase-1 verdict, consumed by the merge phase.
+  struct MsgOutcome {
+    enum Kind : std::uint8_t { kDelivered, kStale, kRequeue };
+    Kind kind = kDelivered;
+    bool best_changed = false;
+    double requeue_at = 0.0;  // valid for kRequeue
+    std::optional<double> damping_delay;
+  };
+  // Prefix-level before/after snapshot so a frontier that flip-flops a best
+  // route inside one quantum produces no spurious route event or export.
+  struct PrefixTouch {
+    Prefix prefix;
+    std::optional<Route> before;
+    bool any_changed = false;
+    bool net_changed = false;
+  };
+  // All frontier work confined to one receiving speaker. Filled by exactly
+  // one pool worker, then read by the merge phase — never shared.
+  struct ReceiverWork {
+    std::uint32_t receiver = 0;              // dense AS index
+    std::vector<std::uint32_t> msg_indices;  // into the frontier, in order
+    std::vector<MsgOutcome> outcomes;
+    std::vector<PrefixTouch> prefixes;       // first-touch order
+    void reset(std::uint32_t r) {
+      receiver = r;
+      msg_indices.clear();
+      outcomes.clear();
+      prefixes.clear();
+    }
+  };
+
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+  std::uint32_t index_of(AsId id) const noexcept;
+  std::uint32_t checked_index(AsId id) const;  // throws std::out_of_range
+
   void schedule_exports(AsId from, const Prefix& prefix);
   void try_send(AsId from, AsId to, const Prefix& prefix);
   void send_now(AsId from, AsId to, const Prefix& prefix, MraiState& mrai);
-  void deliver(const UpdateMessage& msg);
+  // Route the message into its quantum bucket (scheduling the bucket's pump
+  // tick if this is the bucket's first message).
+  void enqueue_delivery(double due, UpdateMessage msg);
+  // Process one frontier: phase-1 per-receiver import/decision (possibly on
+  // the world pool), then the deterministic AS-index-order merge.
+  void pump_frontier(std::int64_t bucket);
+  // Phase 1 for one receiver. Thread-confined: touches only that speaker,
+  // its delivered-seq map, and `work` itself.
+  void process_receiver(ReceiverWork& work,
+                        const std::vector<UpdateMessage>& msgs, double now);
+  // Lazily built LG_WORLD_THREADS pool (nullptr when world_threads_ == 1).
+  util::ThreadPool* world_pool();
   void notify(AsId as, const Prefix& prefix);
   // Convergence-pump spans: a bgp.pump span covers each maximal period with
   // at least one update in flight (the 0 -> 1 transition opens it, the
@@ -157,19 +244,46 @@ class BgpEngine {
   // Disabled plane => every hook is one predictable branch; enabled plane
   // injects session downtime, update loss (with retransmit), and delays.
   faults::FaultPlane* faults_;
-  std::unordered_map<AsId, BgpSpeaker> speakers_;
+
+  // Dense per-AS state: speakers and counters are vectors indexed by the
+  // rank of the AS id in sorted order (ids are contiguous in generated
+  // topologies, so the offset table below is direct-mapped). Removes hash
+  // cost from the hot pump and makes frontier partitioning cache friendly.
+  std::vector<AsId> as_ids_;  // sorted
+  AsId min_id_ = 0;
+  std::vector<std::uint32_t> id_to_index_;  // offset table over the id span
+  std::unordered_map<AsId, std::uint32_t> sparse_index_;  // huge-span fallback
+  std::vector<BgpSpeaker> speakers_;
+
   std::unordered_map<SessionPrefixKey, MraiState, SessionPrefixKeyHash> mrai_;
-  // Highest sequence number applied per (session, prefix); only consulted
-  // and populated when the fault plane is enabled (the only source of
-  // delivery reordering), so fault-free runs never touch the map.
-  std::unordered_map<SessionPrefixKey, std::uint64_t, SessionPrefixKeyHash>
+  // Highest sequence number applied per (session, prefix), sharded by the
+  // *receiving* AS index so phase-1 workers touch disjoint maps; only
+  // allocated and consulted when the fault plane is enabled (the only source
+  // of delivery reordering), so fault-free runs never touch it.
+  std::vector<std::unordered_map<SessionPrefixKey, std::uint64_t,
+                                 SessionPrefixKeyHash>>
       delivered_seq_;
   std::vector<RouteObserver*> observers_;
 
+  // Frontier buckets keyed by quantum index (bucket time = key * quantum).
+  // Exactly one pump tick is scheduled per live bucket.
+  std::unordered_map<std::int64_t, std::vector<UpdateMessage>> frontier_;
+  // Retired bucket vectors, recycled by enqueue_delivery so steady-state
+  // pumping allocates no per-bucket storage.
+  std::vector<std::vector<UpdateMessage>> frontier_spares_;
+  // Reusable pump scratch: receiver -> work-slot mapping, the slot pool, and
+  // the slot order (sorted by AS index before merge).
+  std::vector<std::uint32_t> work_slot_;
+  std::vector<ReceiverWork> work_;
+  std::size_t work_used_ = 0;
+  std::vector<std::uint32_t> work_order_;
+  std::size_t world_threads_ = 1;
+  std::unique_ptr<util::ThreadPool> world_pool_;
+
   std::uint64_t total_messages_ = 0;
   double last_activity_ = 0.0;
-  std::unordered_map<AsId, std::uint64_t> sent_by_;
-  std::unordered_map<AsId, std::uint64_t> best_changes_;
+  std::vector<std::uint64_t> sent_by_;
+  std::vector<std::uint64_t> best_changes_;
   // Pump-span bookkeeping (see delivery_scheduled/delivery_done).
   std::uint64_t in_flight_ = 0;
   std::uint64_t delivered_total_ = 0;

@@ -4,12 +4,20 @@
 // one virtual clock.
 //
 // Time is a double in *seconds* of simulated time. Events at equal timestamps
-// execute in insertion order (stable), which keeps runs deterministic.
+// execute in insertion order (stable), which keeps runs deterministic. The
+// run loop extracts all events sharing the earliest deadline as one batch
+// (step_batch) — same observable order, but one heap scan per *deadline*
+// instead of per event, which is what the BGP frontier pump leans on when it
+// schedules one tick per delivery quantum.
+//
+// Cancelled events leave tombstones in the heap; when tombstones outnumber
+// live events the heap is compacted in place, so heavy cancel churn (fleet
+// watchdogs, damping re-checks racing withdrawals) cannot grow the queue
+// beyond a constant factor of the live event count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -46,12 +54,22 @@ class Scheduler {
   // Execute exactly one event if any is pending before `until`.
   bool step(SimTime until = kForever);
 
+  // Batch extraction: execute *every* event sharing the earliest pending
+  // deadline (in insertion order), including events that the batch itself
+  // schedules at that same instant. Returns the number executed (0 when
+  // nothing is due before `until`).
+  std::size_t step_batch(SimTime until = kForever);
+
   bool empty() const noexcept { return live_events_ == 0; }
   std::size_t pending() const noexcept { return live_events_; }
   std::uint64_t executed() const noexcept { return executed_; }
   // High-water mark of pending events (queue depth) over the run.
   std::size_t max_pending() const noexcept { return max_pending_; }
   std::uint64_t cancelled() const noexcept { return cancelled_; }
+  // Internal heap depth including tombstones, and how often compaction ran —
+  // the regression surface for the tombstone-buildup bound.
+  std::size_t queue_depth() const noexcept { return heap_.size(); }
+  std::uint64_t compactions() const noexcept { return compactions_; }
 
   static constexpr SimTime kForever = 1e300;
 
@@ -68,16 +86,26 @@ class Scheduler {
     }
   };
 
+  // Drop tombstones off the heap top so heap_.front() (if any) is live.
+  void prune_top();
+  // Rebuild the heap without tombstones once they outnumber live events.
+  void maybe_compact();
+  // Pop the top event (assumed live) and run its callback.
+  void execute_top();
+
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t live_events_ = 0;
   std::size_t max_pending_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Binary heap (std::push_heap/pop_heap with Later) rather than
+  // std::priority_queue: compaction needs to filter the container in place.
+  std::vector<Event> heap_;
   // id -> callback; erased on fire/cancel. Cancelled events stay in the
-  // priority queue as tombstones and are skipped when popped.
+  // heap as tombstones until popped or compacted away.
   std::unordered_map<std::uint64_t, Callback> callbacks_;
 };
 

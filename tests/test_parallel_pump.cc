@@ -1,0 +1,171 @@
+// Determinism contract of the parallel frontier pump: every observable —
+// best routes, engine counters, metrics, the trace ring — must be
+// byte-identical for any LG_WORLD_THREADS / EngineConfig::world_threads
+// value, with and without an active fault plane. Plus the pool-nesting
+// contract and a fuzz sweep driving the full check oracle through the
+// parallel pump.
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/engine.h"
+#include "bgp/types.h"
+#include "check/fuzzer.h"
+#include "faults/fault_plane.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "topology/addressing.h"
+#include "topology/generator.h"
+#include "util/scheduler.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using lg::topo::AsId;
+using lg::topo::Prefix;
+
+lg::topo::GeneratedTopology make_topology() {
+  lg::topo::TopologyParams tp;
+  tp.num_tier1 = 3;
+  tp.num_large_transit = 5;
+  tp.num_small_transit = 8;
+  tp.num_stubs = 40;
+  tp.seed = 424242;
+  return lg::topo::generate_topology(tp);
+}
+
+// Runs a fixed multi-origin announce/poison/withdraw script and serializes
+// everything observable about the run into one string.
+std::string run_fingerprint(std::size_t world_threads, double fault_intensity) {
+  lg::topo::GeneratedTopology gt = make_topology();
+
+  lg::obs::MetricsRegistry reg;
+  const lg::obs::ScopedMetricsRegistry scoped_reg(reg);
+  lg::obs::TraceRing ring(1 << 16);
+  ring.set_enabled(true);
+  const lg::obs::ScopedTraceRing scoped_ring(ring);
+
+  lg::faults::FaultConfig fc;
+  if (fault_intensity > 0.0) {
+    fc = lg::faults::FaultConfig::at_intensity(fault_intensity);
+  }
+  fc.seed = 99;
+  lg::faults::FaultPlane plane(fc);
+  const lg::faults::ScopedFaultPlane scoped_plane(plane);
+
+  lg::util::Scheduler sched;
+  lg::bgp::EngineConfig ec;
+  ec.seed = 17;
+  ec.default_mrai = 5.0;
+  ec.world_threads = world_threads;
+  lg::bgp::BgpEngine engine(gt.graph, sched, ec);
+
+  const std::vector<AsId> transit = gt.transit();
+  std::vector<AsId> origins(gt.stubs.begin(), gt.stubs.begin() + 8);
+  std::vector<Prefix> prefixes;
+  double t = 1.0;
+  for (const AsId origin : origins) {
+    const Prefix p = lg::topo::AddressPlan::production_prefix(origin);
+    prefixes.push_back(p);
+    sched.at(t, [&engine, origin, p] {
+      lg::bgp::OriginPolicy policy;
+      policy.default_path = lg::bgp::PathRef(lg::bgp::baseline_path(origin, 2));
+      engine.originate(origin, p, policy);
+    });
+    t += 3.0;
+  }
+  // Mid-run churn: poison from half the origins, a flap from one more.
+  for (std::size_t i = 0; i < origins.size() / 2; ++i) {
+    const AsId origin = origins[i];
+    const Prefix p = prefixes[i];
+    const AsId poison = transit[i % transit.size()];
+    sched.at(t, [&engine, origin, p, poison] {
+      lg::bgp::OriginPolicy policy;
+      policy.default_path =
+          lg::bgp::PathRef(lg::bgp::poisoned_path(origin, {poison}, 3));
+      engine.originate(origin, p, policy);
+    });
+    t += 7.0;
+  }
+  sched.at(t, [&engine, &origins, &prefixes] {
+    engine.withdraw(origins.back(), prefixes.back());
+  });
+  sched.run(t + 1e6);
+
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "quiesced=" << sched.empty() << " msgs=" << engine.total_messages()
+      << " last=" << engine.last_activity_time() << "\n";
+  for (const AsId as : gt.graph.as_ids()) {
+    out << as << " sent=" << engine.messages_sent_by(as)
+        << " bc=" << engine.best_changes_of(as);
+    for (const Prefix& p : prefixes) {
+      if (const lg::bgp::Route* best = engine.best_route(as, p)) {
+        out << " " << p.str() << "=[" << lg::bgp::path_str(best->path)
+            << "]via" << best->neighbor;
+      }
+    }
+    out << "\n";
+  }
+  for (const lg::obs::Counter* c : reg.counters()) {
+    out << c->name() << "=" << c->value() << "\n";
+  }
+  for (const lg::obs::TraceEvent& ev : ring.events()) {
+    out << ev.t << " " << lg::obs::trace_kind_name(ev.kind) << " " << ev.a
+        << " " << ev.b << " " << ev.value << "\n";
+  }
+  return out.str();
+}
+
+TEST(ParallelPumpTest, ByteIdenticalAcrossWorldThreadsClean) {
+  const std::string one = run_fingerprint(1, 0.0);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, run_fingerprint(2, 0.0));
+  EXPECT_EQ(one, run_fingerprint(4, 0.0));
+}
+
+TEST(ParallelPumpTest, ByteIdenticalAcrossWorldThreadsWithFaults) {
+  const std::string one = run_fingerprint(1, 0.5);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, run_fingerprint(2, 0.5));
+  EXPECT_EQ(one, run_fingerprint(4, 0.5));
+}
+
+// The full differential/invariant/idempotence oracle over 200 seeded random
+// scenarios, faults on, with the pump running 4 workers: parallelism must
+// not perturb convergence to the reference fixpoint.
+TEST(ParallelPumpTest, FuzzSweepWithParallelPump) {
+  const lg::check::SweepSummary sweep =
+      lg::check::run_sweep(9000, 200, 0.5, true, 4);
+  EXPECT_EQ(sweep.runs, 200u);
+  EXPECT_TRUE(sweep.ok()) << sweep.failing_seeds.size()
+                          << " seeds failed; first="
+                          << (sweep.failing_seeds.empty()
+                                  ? 0
+                                  : sweep.failing_seeds.front());
+}
+
+// Pool-nesting contract: inside a parallel trial region the engine's world
+// pool degrades to one worker unless the config pins a width explicitly.
+TEST(ParallelPumpTest, WorldPoolDegradesInsideParallelRegion) {
+  lg::topo::GeneratedTopology gt = make_topology();
+  lg::util::Scheduler sched;
+  const lg::util::ScopedParallelRegion region(true);
+  lg::bgp::BgpEngine engine(gt.graph, sched, lg::bgp::EngineConfig{});
+  EXPECT_EQ(engine.world_threads(), 1u);
+}
+
+TEST(ParallelPumpTest, ExplicitWidthWinsOverParallelRegion) {
+  lg::topo::GeneratedTopology gt = make_topology();
+  lg::util::Scheduler sched;
+  const lg::util::ScopedParallelRegion region(true);
+  lg::bgp::EngineConfig ec;
+  ec.world_threads = 4;
+  lg::bgp::BgpEngine engine(gt.graph, sched, ec);
+  EXPECT_EQ(engine.world_threads(), 4u);
+}
+
+}  // namespace

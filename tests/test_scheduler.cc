@@ -106,5 +106,59 @@ TEST(SchedulerTest, StepExecutesExactlyOne) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(SchedulerTest, StepBatchRunsAllEventsAtEarliestDeadline) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(1.0, [&] { order.push_back(0); });
+  sched.at(1.0, [&] {
+    order.push_back(1);
+    // Scheduled during the batch at the same instant: joins the batch.
+    sched.at(1.0, [&] { order.push_back(3); });
+  });
+  sched.at(1.0, [&] { order.push_back(2); });
+  sched.at(2.0, [&] { order.push_back(9); });
+  EXPECT_EQ(sched.step_batch(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sched.step_batch(), 1u);
+  EXPECT_EQ(sched.step_batch(), 0u);
+}
+
+TEST(SchedulerTest, StepBatchHonorsBound) {
+  Scheduler sched;
+  int count = 0;
+  sched.at(10.0, [&] { ++count; });
+  EXPECT_EQ(sched.step_batch(5.0), 0u);
+  EXPECT_EQ(count, 0);
+}
+
+// Regression: cancel churn must not grow the internal queue unboundedly.
+// Tombstones are compacted once they outnumber live events, so the heap
+// depth stays within a constant factor of the live count no matter how many
+// schedule/cancel cycles run (fleet watchdogs re-arm one timer per probe
+// round; before compaction this grew the heap by one tombstone per round).
+TEST(SchedulerTest, CancelChurnKeepsQueueDepthBounded) {
+  Scheduler sched;
+  int fired = 0;
+  // A handful of long-lived survivors to keep the heap non-trivial.
+  for (int i = 0; i < 8; ++i) {
+    sched.at(1e6 + i, [&] { ++fired; });
+  }
+  std::size_t high_water = 0;
+  std::uint64_t watchdog = 0;
+  for (int round = 0; round < 100000; ++round) {
+    if (watchdog != 0) sched.cancel(watchdog);
+    watchdog = sched.at(1e7 + round, [] { FAIL() << "cancelled watchdog fired"; });
+    high_water = std::max(high_water, sched.queue_depth());
+  }
+  // 8 survivors + 1 live watchdog, plus at most max(64, live) + 1 tombstones
+  // between compactions — far below the 100008 an uncompacted heap reaches.
+  EXPECT_EQ(sched.pending(), 9u);
+  EXPECT_LE(high_water, 128u);
+  EXPECT_GE(sched.compactions(), 1u);
+  sched.cancel(watchdog);
+  sched.run();
+  EXPECT_EQ(fired, 8);  // survivors unharmed by compaction
+}
+
 }  // namespace
 }  // namespace lg::util
