@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/remediation.h"
+#include "mem/rss.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/span.h"
@@ -277,6 +278,76 @@ void BM_ExportPath(benchmark::State& state) {
 }
 BENCHMARK(BM_ExportPath)->Arg(200)->Arg(600);
 
+// Full-graph convergence on the internet-scale synthetic: one prefix
+// originated at a stub, scheduler drained, fresh engine per iteration. The
+// Arg is total ASes; counters carry the structural memory accounting so the
+// bytes/route trajectory lands in BENCH_micro_perf.json alongside the
+// timing.
+void BM_FullGraphConverge(benchmark::State& state) {
+  topo::InternetScaleParams params;
+  params.total_ases = static_cast<std::uint32_t>(state.range(0));
+  params.seed = 17;
+  const auto topo = topo::generate_internet_scale(params);
+  const AsId origin = topo.stubs.front();
+  const auto prefix = topo::AddressPlan::production_prefix(origin);
+  double bytes_per_route = 0.0;
+  double routes = 0.0;
+  for (auto _ : state) {
+    util::Scheduler sched;
+    bgp::BgpEngine engine(topo.graph, sched);
+    bgp::OriginPolicy policy;
+    policy.default_path = bgp::AsPath{origin};
+    engine.originate(origin, prefix, policy);
+    sched.run();
+    const auto mem = engine.rib_memory();
+    routes = static_cast<double>(mem.routes);
+    bytes_per_route = mem.routes == 0
+                          ? 0.0
+                          : static_cast<double>(mem.bytes) /
+                                static_cast<double>(mem.routes);
+    benchmark::DoNotOptimize(mem.bytes);
+  }
+  state.counters["ases"] = static_cast<double>(state.range(0));
+  state.counters["routes"] = routes;
+  state.counters["bytes_per_route"] = bytes_per_route;
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(mem::peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_FullGraphConverge)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(2000)
+    ->Arg(10000);
+
+// Cost of the rib_memory() accounting sweep itself over a converged
+// full-graph engine (it walks every speaker's containers; the bench gate
+// runs it after every convergence, so it must stay cheap).
+void BM_RibMemory(benchmark::State& state) {
+  topo::InternetScaleParams params;
+  params.total_ases = static_cast<std::uint32_t>(state.range(0));
+  params.seed = 17;
+  const auto topo = topo::generate_internet_scale(params);
+  util::Scheduler sched;
+  bgp::BgpEngine engine(topo.graph, sched);
+  const AsId origin = topo.stubs.front();
+  bgp::OriginPolicy policy;
+  policy.default_path = bgp::AsPath{origin};
+  engine.originate(origin, topo::AddressPlan::production_prefix(origin),
+                   policy);
+  sched.run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.rib_memory().bytes);
+  }
+  const auto mem = engine.rib_memory();
+  state.counters["routes"] = static_cast<double>(mem.routes);
+  state.counters["bytes_per_route"] =
+      mem.routes == 0 ? 0.0
+                      : static_cast<double>(mem.bytes) /
+                            static_cast<double>(mem.routes);
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(mem::peak_rss_bytes()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_RibMemory)->Unit(benchmark::kMicrosecond)->Arg(2000)->Arg(10000);
+
 // Span begin+end pair against a private registry. Arg(1) is the enabled
 // path (id derivation, deque append, index insert, end lookup); Arg(0) is
 // the disabled path, which must stay branch-plus-nothing — this is the cost
@@ -332,6 +403,7 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
     double real_ns_per_iter = 0.0;
     double cpu_ns_per_iter = 0.0;
     std::uint64_t iterations = 0;
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -339,12 +411,17 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
       const double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
-      captured_.push_back(Captured{
+      Captured c{
           run.benchmark_name(),
           run.real_accumulated_time / iters * 1e9,
           run.cpu_accumulated_time / iters * 1e9,
           static_cast<std::uint64_t>(run.iterations),
-      });
+          {},
+      };
+      for (const auto& [key, counter] : run.counters) {
+        c.counters.emplace_back(key, static_cast<double>(counter));
+      }
+      captured_.push_back(std::move(c));
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -382,6 +459,9 @@ int main(int argc, char** argv) {
     report.headline(run.name + ".cpu_ns_per_iter", run.cpu_ns_per_iter);
     report.headline(run.name + ".iterations",
                     static_cast<double>(run.iterations));
+    for (const auto& [key, value] : run.counters) {
+      report.headline(run.name + "." + key, value);
+    }
   }
   report.capture_metrics();
   const std::string path = report.default_path();

@@ -7,6 +7,11 @@
 2. Every src/<subsystem>/ directory must appear in the module map of
    docs/ARCHITECTURE.md, so the architecture doc cannot silently rot as
    subsystems are added.
+3. Every LG_* environment knob read by src/ or bench/ code (an exact
+   "LG_..." string literal — the getenv / *_from_env call-site idiom) must
+   have a row in docs/OPERATORS.md's knob table, and every documented knob
+   must still exist in the code, so the operator doc can neither lag nor
+   accumulate stale rows.
 
 Exit status 0 = clean, 1 = problems (each printed on its own line).
 """
@@ -62,6 +67,39 @@ def check_module_map() -> list:
     return problems
 
 
+OPERATORS = REPO / "docs" / "OPERATORS.md"
+# Exact quoted knob names only: prose like "replay with LG_CHECK_SEED=..."
+# inside longer literals is not a read site.
+KNOB_READ_RE = re.compile(r'"(LG_[A-Z0-9_]+)"')
+# First table column: | `LG_FOO` | ...
+KNOB_ROW_RE = re.compile(r"^\|\s*`(LG_[A-Z0-9_]+)`", re.MULTILINE)
+
+
+def check_knob_table() -> list:
+    if not OPERATORS.exists():
+        return ["docs/OPERATORS.md is missing"]
+    documented = set(KNOB_ROW_RE.findall(
+        OPERATORS.read_text(encoding="utf-8")))
+    read_sites = {}
+    for top in ("src", "bench"):
+        for path in sorted((REPO / top).rglob("*")):
+            if path.suffix not in (".cc", ".h"):
+                continue
+            for knob in KNOB_READ_RE.findall(
+                    path.read_text(encoding="utf-8")):
+                read_sites.setdefault(knob, path.relative_to(REPO))
+    problems = []
+    for knob in sorted(set(read_sites) - documented):
+        problems.append(
+            f"docs/OPERATORS.md: knob table has no `{knob}` row "
+            f"(read in {read_sites[knob]})")
+    for knob in sorted(documented - set(read_sites)):
+        problems.append(
+            f"docs/OPERATORS.md: stale knob row `{knob}` "
+            f"(no read site in src/ or bench/)")
+    return problems
+
+
 def main() -> int:
     problems = []
     targets = [REPO / name for name in DOC_FILES]
@@ -73,12 +111,14 @@ def main() -> int:
             problems.append(f"expected documentation file missing: "
                             f"{path.relative_to(REPO)}")
     problems.extend(check_module_map())
+    problems.extend(check_knob_table())
 
     for p in problems:
         print(p)
     if not problems:
         print(f"docs OK: {len(targets)} files link-checked, "
-              f"module map covers all of src/")
+              f"module map covers all of src/, knob table covers every "
+              f"LG_* read site")
     return 1 if problems else 0
 
 

@@ -65,6 +65,21 @@ BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
       }
     }
   }
+  // Dense directed-session layout for the flat MRAI tables: each AS's
+  // sorted neighbor ids, concatenated, with prefix-sum offsets.
+  sess_base_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sess_base_[i + 1] =
+        sess_base_[i] +
+        static_cast<std::uint32_t>(graph.neighbors(as_ids_[i]).size());
+  }
+  sess_nbr_.resize(sess_base_[n]);
+  for (std::size_t i = 0; i < n; ++i) {
+    AsId* seg = sess_nbr_.data() + sess_base_[i];
+    std::size_t k = 0;
+    for (const auto& nb : graph.neighbors(as_ids_[i])) seg[k++] = nb.id;
+    std::sort(seg, seg + k);
+  }
   sent_by_.assign(n, 0);
   best_changes_.assign(n, 0);
   // Per-receiver shards so phase-1 workers never share a map; only fault
@@ -146,10 +161,28 @@ double BgpEngine::mrai_for(AsId from) {
   return rng_.uniform(lo, base);
 }
 
+std::uint32_t BgpEngine::session_index(AsId from, AsId to) const {
+  const std::uint32_t fi = checked_index(from);
+  const AsId* lo = sess_nbr_.data() + sess_base_[fi];
+  const AsId* hi = sess_nbr_.data() + sess_base_[fi + 1];
+  const AsId* it = std::lower_bound(lo, hi, to);
+  if (it == hi || *it != to) {
+    throw std::out_of_range("no session " + std::to_string(from) + "->" +
+                            std::to_string(to));
+  }
+  return sess_base_[fi] + static_cast<std::uint32_t>(it - lo);
+}
+
+BgpEngine::MraiState& BgpEngine::mrai_state(AsId from, AsId to,
+                                            const Prefix& prefix) {
+  const std::uint32_t idx = session_index(from, to);
+  std::vector<MraiState>& table = mrai_[prefix];
+  if (table.empty()) table.resize(sess_nbr_.size());
+  return table[idx];
+}
+
 void BgpEngine::try_send(AsId from, AsId to, const Prefix& prefix) {
-  const SessionPrefixKey key{(static_cast<std::uint64_t>(from) << 32) | to,
-                             prefix};
-  auto& mrai = mrai_[key];
+  auto& mrai = mrai_state(from, to, prefix);
   const double now = sched_->now();
   if (now >= mrai.ready_at) {
     send_now(from, to, prefix, mrai);
@@ -161,9 +194,7 @@ void BgpEngine::try_send(AsId from, AsId to, const Prefix& prefix) {
     trace_->record(now, obs::TraceKind::kMraiDefer, from, to,
                    mrai.ready_at - now);
     sched_->at(mrai.ready_at, [this, from, to, prefix] {
-      const SessionPrefixKey k{(static_cast<std::uint64_t>(from) << 32) | to,
-                               prefix};
-      auto& m = mrai_[k];
+      auto& m = mrai_state(from, to, prefix);
       m.flush_scheduled = false;
       send_now(from, to, prefix, m);
     });
@@ -185,10 +216,13 @@ void BgpEngine::send_now(AsId from, AsId to, const Prefix& prefix,
   const std::uint32_t from_idx = checked_index(from);
   BgpSpeaker& sender = speakers_[from_idx];
   const auto current = sender.export_path(prefix, to);
-  const auto* last = sender.last_advertised(prefix, to);
-  const bool had_advertised = last != nullptr && last->has_value();
-  if (last != nullptr && *last == current) return;  // nothing new to say
-  if (last == nullptr && !current) return;          // never advertised, nothing now
+  const auto state = sender.adj_out_state(prefix, to);
+  const bool had_advertised = state == BgpSpeaker::AdjOutState::kAdvertised;
+  if (state == BgpSpeaker::AdjOutState::kNeverAdvertised) {
+    if (!current) return;  // never advertised, nothing now
+  } else if (sender.adj_out_unit(prefix, to) == current) {
+    return;  // nothing new to say
+  }
 
   UpdateMessage msg;
   msg.from = from;
@@ -272,10 +306,7 @@ void BgpEngine::enqueue_delivery(double due, UpdateMessage msg) {
   const auto bucket = static_cast<std::int64_t>(
       std::ceil(due / cfg_.pump_quantum));
   const auto [it, inserted] = frontier_.try_emplace(bucket);
-  if (inserted && !frontier_spares_.empty()) {
-    it->second = std::move(frontier_spares_.back());
-    frontier_spares_.pop_back();
-  }
+  if (inserted) it->second = msg_pool_.acquire();
   it->second.push_back(std::move(msg));
   if (inserted) {
     sched_->at(static_cast<double>(bucket) * cfg_.pump_quantum,
@@ -511,8 +542,7 @@ void BgpEngine::pump_frontier(std::int64_t bucket) {
   // this frontier triggered are already counted, so a still-busy pump span
   // stays open across back-to-back frontiers.
   for (; terminal > 0; --terminal) delivery_done();
-  msgs.clear();
-  frontier_spares_.push_back(std::move(msgs));
+  msg_pool_.release(std::move(msgs));
 }
 
 void BgpEngine::notify(AsId as, const Prefix& prefix) {
@@ -555,6 +585,25 @@ void BgpEngine::reexport_all() {
       schedule_exports(as_ids_[i], prefix);
     }
   }
+}
+
+BgpEngine::RibMemoryTotals BgpEngine::rib_memory() const {
+  RibMemoryTotals t;
+  for (const BgpSpeaker& spk : speakers_) {
+    const BgpSpeaker::RibMemory m = spk.rib_memory();
+    t.bytes += m.bytes;
+    t.routes += m.routes;
+    t.adj_out_slots += m.adj_out_slots;
+    t.prefix_states += m.prefixes;
+  }
+  // Engine-side per-session state: flat MRAI tables and the session layout.
+  t.bytes += sess_base_.capacity() * sizeof(std::uint32_t) +
+             sess_nbr_.capacity() * sizeof(AsId);
+  for (const auto& [p, table] : mrai_) {
+    t.bytes += sizeof(p) + table.capacity() * sizeof(MraiState) + 32;
+  }
+  t.bytes += msg_pool_.spare_bytes();
+  return t;
 }
 
 std::uint64_t BgpEngine::messages_sent_by(AsId as) const {

@@ -34,6 +34,7 @@
 
 #include "bgp/speaker.h"
 #include "bgp/types.h"
+#include "mem/pool.h"
 #include "obs/span.h"
 #include "topology/as_graph.h"
 #include "util/hashing.h"
@@ -148,6 +149,18 @@ class BgpEngine {
   // Time of the last delivered message since reset (global convergence end).
   double last_activity_time() const noexcept { return last_activity_; }
 
+  // Deterministic structural memory accounting across every speaker plus
+  // the engine's own per-session state (MRAI tables, frontier pool). Shared
+  // path/community buffers are excluded (they cost one allocation per
+  // distinct buffer, not per holder); see docs/TOPOLOGIES.md for the model.
+  struct RibMemoryTotals {
+    std::size_t bytes = 0;          // container footprint in bytes
+    std::size_t routes = 0;         // resident Adj-RIB-In entries
+    std::size_t adj_out_slots = 0;  // advertised Adj-RIB-Out entries
+    std::size_t prefix_states = 0;  // per-speaker prefix states
+  };
+  RibMemoryTotals rib_memory() const;
+
   // Public so the hash-quality regression tests can exercise it directly.
   struct SessionPrefixKey {
     std::uint64_t session;  // (from << 32) | to
@@ -214,6 +227,11 @@ class BgpEngine {
   void schedule_exports(AsId from, const Prefix& prefix);
   void try_send(AsId from, AsId to, const Prefix& prefix);
   void send_now(AsId from, AsId to, const Prefix& prefix, MraiState& mrai);
+  // Dense directed-session index: rank of `to` within `from`'s sorted
+  // adjacency, offset by the per-AS prefix sum — the key into the flat
+  // per-prefix MRAI tables below. Throws for unknown sessions.
+  std::uint32_t session_index(AsId from, AsId to) const;
+  MraiState& mrai_state(AsId from, AsId to, const Prefix& prefix);
   // Route the message into its quantum bucket (scheduling the bucket's pump
   // tick if this is the bucket's first message).
   void enqueue_delivery(double due, UpdateMessage msg);
@@ -255,7 +273,16 @@ class BgpEngine {
   std::unordered_map<AsId, std::uint32_t> sparse_index_;  // huge-span fallback
   std::vector<BgpSpeaker> speakers_;
 
-  std::unordered_map<SessionPrefixKey, MraiState, SessionPrefixKeyHash> mrai_;
+  // Per-(session, prefix) MRAI state, stored as one flat vector per prefix
+  // indexed by the dense directed-session index (session_index). At
+  // Internet scale this replaces millions of hash-map nodes with a handful
+  // of contiguous tables: O(1) access after one prefix lookup, no rehash,
+  // 24 bytes/session. Directed sessions are laid out per sending AS via
+  // sess_base_ (prefix sums of degrees) over sess_nbr_ (each AS's sorted
+  // neighbor ids, concatenated).
+  std::vector<std::uint32_t> sess_base_;  // size n+1
+  std::vector<AsId> sess_nbr_;            // size sess_base_.back()
+  std::unordered_map<Prefix, std::vector<MraiState>, topo::PrefixHash> mrai_;
   // Highest sequence number applied per (session, prefix), sharded by the
   // *receiving* AS index so phase-1 workers touch disjoint maps; only
   // allocated and consulted when the fault plane is enabled (the only source
@@ -269,8 +296,8 @@ class BgpEngine {
   // Exactly one pump tick is scheduled per live bucket.
   std::unordered_map<std::int64_t, std::vector<UpdateMessage>> frontier_;
   // Retired bucket vectors, recycled by enqueue_delivery so steady-state
-  // pumping allocates no per-bucket storage.
-  std::vector<std::vector<UpdateMessage>> frontier_spares_;
+  // pumping allocates no per-bucket storage (LG_MEM_POOL=0 disables reuse).
+  mem::VectorPool<UpdateMessage> msg_pool_;
   // Reusable pump scratch: receiver -> work-slot mapping, the slot pool, and
   // the slot order (sorted by AS index before merge).
   std::vector<std::uint32_t> work_slot_;

@@ -22,6 +22,77 @@ LearnedFrom learned_from_rel(topo::Rel rel) {
 BgpSpeaker::BgpSpeaker(AsId id, const topo::AsGraph& graph, SpeakerConfig cfg)
     : id_(id), graph_(&graph), cfg_(cfg) {}
 
+void BgpSpeaker::ensure_neighbors() const {
+  if (nbrs_built_) return;
+  const auto& ns = graph_->neighbors(id_);
+  std::vector<std::pair<AsId, topo::Rel>> sorted;
+  sorted.reserve(ns.size());
+  for (const auto& n : ns) sorted.emplace_back(n.id, n.rel);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  nbr_ids_.reserve(sorted.size());
+  nbr_rel_.reserve(sorted.size());
+  for (const auto& [nid, rel] : sorted) {
+    nbr_ids_.push_back(nid);
+    nbr_rel_.push_back(rel);
+  }
+  nbrs_built_ = true;
+}
+
+std::uint32_t BgpSpeaker::slot_of(AsId neighbor) const {
+  ensure_neighbors();
+  const auto it =
+      std::lower_bound(nbr_ids_.begin(), nbr_ids_.end(), neighbor);
+  if (it == nbr_ids_.end() || *it != neighbor) return kNoSlot;
+  return static_cast<std::uint32_t>(it - nbr_ids_.begin());
+}
+
+std::optional<topo::Rel> BgpSpeaker::rel_of(AsId neighbor) const {
+  const std::uint32_t slot = slot_of(neighbor);
+  if (slot == kNoSlot) return std::nullopt;
+  return nbr_rel_[slot];
+}
+
+void BgpSpeaker::ensure_in(PrefixState& st, std::size_t n) {
+  if (st.in_path.size() == n) return;  // n is fixed per speaker
+  st.in_path.resize(n);
+  st.in_comm.resize(n);
+  st.in_learned.assign(n, 0);
+  st.in_present.assign(n, 0);
+}
+
+void BgpSpeaker::ensure_out(PrefixState& st, std::size_t n) {
+  if (st.out_tag.size() == n) return;
+  st.out_tag.assign(n, kOutUnset);
+  st.out_path.resize(n);
+  st.out_comm.resize(n);
+}
+
+const AvoidHint* BgpSpeaker::hint_at(const HintTable& t, std::uint32_t slot) {
+  const auto it = std::lower_bound(
+      t.begin(), t.end(), slot,
+      [](const auto& e, std::uint32_t s) { return e.first < s; });
+  if (it == t.end() || it->first != slot) return nullptr;
+  return &it->second;
+}
+
+void BgpSpeaker::set_hint(HintTable& t, std::uint32_t slot,
+                          const std::optional<AvoidHint>& hint) {
+  const auto it = std::lower_bound(
+      t.begin(), t.end(), slot,
+      [](const auto& e, std::uint32_t s) { return e.first < s; });
+  const bool found = it != t.end() && it->first == slot;
+  if (hint) {
+    if (found) {
+      it->second = *hint;
+    } else {
+      t.insert(it, {slot, *hint});
+    }
+  } else if (found) {
+    t.erase(it);
+  }
+}
+
 BgpSpeaker::PrefixState& BgpSpeaker::state_for(const Prefix& prefix) {
   auto [it, inserted] = prefixes_.try_emplace(prefix);
   if (inserted) len_present_[prefix.length()] = true;
@@ -35,12 +106,16 @@ const BgpSpeaker::PrefixState* BgpSpeaker::find_state(
 }
 
 void BgpSpeaker::set_origin_policy(const Prefix& prefix, OriginPolicy policy) {
-  state_for(prefix).origin = std::move(policy);
+  auto& st = state_for(prefix);
+  st.origin = std::move(policy);
+  // Intern the policy's community set once; every export shares the buffer.
+  st.origin_comm = CommunitiesRef(st.origin->communities);
 }
 
 void BgpSpeaker::clear_origin_policy(const Prefix& prefix) {
   if (auto it = prefixes_.find(prefix); it != prefixes_.end()) {
     it->second.origin.reset();
+    it->second.origin_comm = CommunitiesRef();
   }
 }
 
@@ -65,7 +140,7 @@ bool BgpSpeaker::import_acceptable(const UpdateMessage& msg) {
     const auto rel = rel_of(msg.from);
     if (rel == topo::Rel::kCustomer) {
       for (const AsId hop : msg.path) {
-        if (graph_->relationship(id_, hop) == topo::Rel::kPeer) {
+        if (rel_of(hop) == topo::Rel::kPeer) {
           ++rejected_peer_filter_;
           return false;
         }
@@ -87,8 +162,8 @@ void decay_penalty(double& penalty, double& last, double now,
 
 bool BgpSpeaker::process_update(const UpdateMessage& msg, double now) {
   auto& st = state_for(msg.prefix);
-  const auto rel = rel_of(msg.from);
-  if (!rel) return false;  // not adjacent: drop
+  const std::uint32_t slot = slot_of(msg.from);
+  if (slot == kNoSlot) return false;  // not adjacent: drop
 
   if (cfg_.damping_enabled) {
     auto& damping = st.damping[msg.from];
@@ -101,63 +176,94 @@ bool BgpSpeaker::process_update(const UpdateMessage& msg, double now) {
   }
 
   if (msg.type == MsgType::kAnnounce && import_acceptable(msg)) {
-    Route r;
-    r.prefix = msg.prefix;
-    r.path = msg.path;
-    r.neighbor = msg.from;
-    r.learned = learned_from_rel(*rel);
-    r.communities = msg.communities;
-    r.avoid_hint = msg.avoid_hint;
+    ensure_in(st, nbr_ids_.size());
+    st.in_path[slot] = msg.path;
+    st.in_comm[slot] = msg.communities;
+    st.in_learned[slot] =
+        static_cast<std::uint8_t>(learned_from_rel(nbr_rel_[slot]));
+    st.in_present[slot] = 1;
+    set_hint(st.in_hints, slot, msg.avoid_hint);
     if (msg.avoid_hint && msg.avoid_hint->as == id_) {
       ++avoid_notifications_;  // Notification property: we are the problem
     }
-    st.rib_in[msg.from] = std::move(r);
-  } else {
+  } else if (!st.in_path.empty() && st.in_present[slot] != 0) {
     // Withdrawal, or an announcement rejected by import policy: either way
     // the neighbor's previous route is no longer usable (BGP implicit
-    // replacement semantics).
-    st.rib_in.erase(msg.from);
+    // replacement semantics). Release the shared buffers with the slot.
+    st.in_present[slot] = 0;
+    st.in_path[slot] = PathRef();
+    st.in_comm[slot] = CommunitiesRef();
+    set_hint(st.in_hints, slot, std::nullopt);
   }
   return recompute_best(msg.prefix, st);
 }
 
 bool BgpSpeaker::recompute_best(const Prefix& prefix, PrefixState& st) {
-  (void)prefix;
   // AVOID_PROBLEM semantics: if any candidate carries a hint, routes whose
   // path hits the hinted AS/link form a lower tier — used only when no
-  // clean route exists (Avoidance + Backup properties, §3).
-  std::optional<AvoidHint> hint;
-  if (cfg_.honors_avoid_hints) {
-    for (const auto& [n, r] : st.rib_in) {
-      if (r.avoid_hint) {
-        hint = r.avoid_hint;
-        break;
-      }
-    }
+  // clean route exists (Avoidance + Backup properties, §3). The hint table
+  // is sorted by slot, so the canonical pick is the lowest-neighbor-id
+  // carrier — the same choice the ReferenceBgp oracle makes.
+  const AvoidHint* hint = nullptr;
+  if (cfg_.honors_avoid_hints && !st.in_hints.empty()) {
+    hint = &st.in_hints.front().second;
   }
-  const Route* nb = nullptr;
-  bool nb_flagged = false;
-  for (const auto& [n, r] : st.rib_in) {
+  const std::size_t n = st.in_path.size();
+  std::uint32_t win = kNoSlot;
+  int win_pref = 0;
+  std::size_t win_len = 0;
+  bool win_flagged = false;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (st.in_present[s] == 0) continue;
     if (cfg_.damping_enabled) {
-      const auto it = st.damping.find(n);
+      const auto it = st.damping.find(nbr_ids_[s]);
       if (it != st.damping.end() && it->second.suppressed) continue;
     }
-    const bool flagged = hint && path_hits_avoid_hint(r.path, *hint);
-    if (nb == nullptr || (nb_flagged && !flagged) ||
-        (nb_flagged == flagged && better_route(r, *nb))) {
-      nb = &r;
-      nb_flagged = flagged;
+    const bool flagged = hint && path_hits_avoid_hint(st.in_path[s], *hint);
+    const int pref =
+        local_pref(static_cast<LearnedFrom>(st.in_learned[s]));
+    const std::size_t len = st.in_path[s].size();
+    // Slots scan in ascending neighbor-id order and the comparisons are
+    // strict, so ties keep the lowest neighbor — exactly better_route's
+    // local-pref desc, path-len asc, neighbor-id asc total order.
+    if (win == kNoSlot || (win_flagged && !flagged) ||
+        (win_flagged == flagged &&
+         (pref > win_pref || (pref == win_pref && len < win_len)))) {
+      win = s;
+      win_pref = pref;
+      win_len = len;
+      win_flagged = flagged;
     }
   }
-  const bool changed =
-      (nb == nullptr) != !st.best || (nb != nullptr && st.best && *nb != *st.best);
-  if (changed) {
-    if (nb != nullptr) {
-      st.best = *nb;
-    } else {
-      st.best.reset();
+
+  bool changed;
+  if (win == kNoSlot) {
+    changed = st.best.has_value();
+    if (changed) st.best.reset();
+  } else {
+    const AsId nbr = nbr_ids_[win];
+    const auto learned = static_cast<LearnedFrom>(st.in_learned[win]);
+    const AvoidHint* win_hint = hint_at(st.in_hints, win);
+    changed =
+        !st.best || st.best->neighbor != nbr || st.best->learned != learned ||
+        !(st.best->path == st.in_path[win]) ||
+        !(st.best->communities == st.in_comm[win]) ||
+        st.best->avoid_hint.has_value() != (win_hint != nullptr) ||
+        (win_hint != nullptr && st.best->avoid_hint &&
+         !(*st.best->avoid_hint == *win_hint));
+    if (changed) {
+      Route r;
+      r.prefix = prefix;
+      r.path = st.in_path[win];
+      r.neighbor = nbr;
+      r.learned = learned;
+      r.communities = st.in_comm[win];
+      if (win_hint != nullptr) r.avoid_hint = *win_hint;
+      st.best = std::move(r);
     }
   }
+  // The cached self-prepended export path mirrors the Loc-RIB.
+  if (changed) st.export_cache_valid = false;
   return changed;
 }
 
@@ -169,7 +275,18 @@ const Route* BgpSpeaker::best_route(const Prefix& prefix) const {
 std::vector<Route> BgpSpeaker::rib_in(const Prefix& prefix) const {
   std::vector<Route> out;
   if (const auto* st = find_state(prefix)) {
-    for (const auto& [n, r] : st->rib_in) out.push_back(r);
+    ensure_neighbors();
+    for (std::uint32_t s = 0; s < st->in_path.size(); ++s) {
+      if (st->in_present[s] == 0) continue;
+      Route r;
+      r.prefix = prefix;
+      r.path = st->in_path[s];
+      r.neighbor = nbr_ids_[s];
+      r.learned = static_cast<LearnedFrom>(st->in_learned[s]);
+      r.communities = st->in_comm[s];
+      if (const AvoidHint* h = hint_at(st->in_hints, s)) r.avoid_hint = *h;
+      out.push_back(std::move(r));
+    }
     std::sort(out.begin(), out.end(), [](const Route& a, const Route& b) {
       return better_route(a, b);
     });
@@ -216,14 +333,13 @@ std::optional<BgpSpeaker::ExportUnit> BgpSpeaker::export_path(
     const Prefix& prefix, AsId neighbor) const {
   const auto* st = find_state(prefix);
   if (st == nullptr) return std::nullopt;
-  const auto nrel = rel_of(neighbor);
-  if (!nrel) return std::nullopt;
+  const std::uint32_t nslot = slot_of(neighbor);
+  if (nslot == kNoSlot) return std::nullopt;
 
   if (st->origin) {
     const auto& path = st->origin->path_for(neighbor);
     if (!path) return std::nullopt;
-    return ExportUnit{*path, st->origin->communities,
-                      st->origin->avoid_hint};
+    return ExportUnit{*path, st->origin_comm, st->origin->avoid_hint};
   }
 
   if (!st->best) return std::nullopt;
@@ -232,32 +348,74 @@ std::optional<BgpSpeaker::ExportUnit> BgpSpeaker::export_path(
   // Gao-Rexford: customer routes go to everyone; peer/provider routes only
   // to customers.
   const bool allowed = best.learned == LearnedFrom::kCustomer ||
-                       *nrel == topo::Rel::kCustomer;
+                       nbr_rel_[nslot] == topo::Rel::kCustomer;
   if (!allowed) return std::nullopt;
-  // Build the prepended path once (exact reserve, single allocation), then
-  // hand the buffer to a PathRef — everything downstream shares it.
-  AsPath prepended;
-  prepended.reserve(best.path.size() + 1);
-  prepended.push_back(id_);
-  prepended.insert(prepended.end(), best.path.begin(), best.path.end());
+  // Self-prepended Loc-RIB path, built once per best-route change and shared
+  // by every neighbor export, the in-flight update, the receiver RIB, and
+  // the Adj-RIB-Out slots (delta encoding: per-neighbor state is refs into
+  // this unit, not copies).
+  if (!st->export_cache_valid) {
+    AsPath prepended;
+    prepended.reserve(best.path.size() + 1);
+    prepended.push_back(id_);
+    prepended.insert(prepended.end(), best.path.begin(), best.path.end());
+    auto* mst = const_cast<PrefixState*>(st);
+    mst->export_cache = PathRef(std::move(prepended));
+    mst->export_cache_valid = true;
+  }
   ExportUnit out;
-  out.path = PathRef(std::move(prepended));
+  out.path = st->export_cache;
   if (!cfg_.strips_communities) out.communities = best.communities;
   out.avoid_hint = best.avoid_hint;  // signed hints survive end-to-end
   return out;
 }
 
-const std::optional<BgpSpeaker::ExportUnit>* BgpSpeaker::last_advertised(
+BgpSpeaker::AdjOutState BgpSpeaker::adj_out_state(const Prefix& prefix,
+                                                  AsId neighbor) const {
+  const auto* st = find_state(prefix);
+  if (st == nullptr) return AdjOutState::kNeverAdvertised;
+  const std::uint32_t slot = slot_of(neighbor);
+  if (slot == kNoSlot || slot >= st->out_tag.size() ||
+      st->out_tag[slot] == kOutUnset) {
+    return AdjOutState::kNeverAdvertised;
+  }
+  return st->out_tag[slot] == kOutNone ? AdjOutState::kWithdrawn
+                                       : AdjOutState::kAdvertised;
+}
+
+std::optional<BgpSpeaker::ExportUnit> BgpSpeaker::adj_out_unit(
     const Prefix& prefix, AsId neighbor) const {
   const auto* st = find_state(prefix);
-  if (st == nullptr) return nullptr;
-  const auto it = st->adj_out.find(neighbor);
-  return it == st->adj_out.end() ? nullptr : &it->second;
+  if (st == nullptr) return std::nullopt;
+  const std::uint32_t slot = slot_of(neighbor);
+  if (slot == kNoSlot || slot >= st->out_tag.size() ||
+      st->out_tag[slot] != kOutUnit) {
+    return std::nullopt;
+  }
+  ExportUnit out;
+  out.path = st->out_path[slot];
+  out.communities = st->out_comm[slot];
+  if (const AvoidHint* h = hint_at(st->out_hints, slot)) out.avoid_hint = *h;
+  return out;
 }
 
 void BgpSpeaker::record_advertised(const Prefix& prefix, AsId neighbor,
                                    std::optional<ExportUnit> unit) {
-  state_for(prefix).adj_out[neighbor] = std::move(unit);
+  const std::uint32_t slot = slot_of(neighbor);
+  if (slot == kNoSlot) return;  // engine only records for real sessions
+  auto& st = state_for(prefix);
+  ensure_out(st, nbr_ids_.size());
+  if (unit) {
+    st.out_tag[slot] = kOutUnit;
+    st.out_path[slot] = std::move(unit->path);
+    st.out_comm[slot] = std::move(unit->communities);
+    set_hint(st.out_hints, slot, unit->avoid_hint);
+  } else {
+    st.out_tag[slot] = kOutNone;
+    st.out_path[slot] = PathRef();
+    st.out_comm[slot] = CommunitiesRef();
+    set_hint(st.out_hints, slot, std::nullopt);
+  }
 }
 
 std::vector<Prefix> BgpSpeaker::known_prefixes() const {
@@ -304,11 +462,42 @@ bool BgpSpeaker::is_suppressed(const Prefix& prefix, AsId neighbor) const {
 }
 
 std::optional<AsId> BgpSpeaker::default_gateway() const {
-  std::optional<AsId> gw;
-  for (const auto& n : graph_->neighbors(id_)) {
-    if (n.rel == topo::Rel::kProvider && (!gw || n.id < *gw)) gw = n.id;
+  ensure_neighbors();
+  // Slots ascend by neighbor id, so the first provider is the lowest ASN.
+  for (std::size_t s = 0; s < nbr_ids_.size(); ++s) {
+    if (nbr_rel_[s] == topo::Rel::kProvider) return nbr_ids_[s];
   }
-  return gw;
+  return std::nullopt;
+}
+
+BgpSpeaker::RibMemory BgpSpeaker::rib_memory() const {
+  // Estimated per-node bookkeeping of the prefix hash map (bucket pointer +
+  // node header); the exact figure is library-dependent, the estimate keeps
+  // the metric deterministic.
+  constexpr std::size_t kMapNodeOverhead = 32;
+  RibMemory m;
+  m.bytes += sizeof(*this);
+  m.bytes += nbr_ids_.capacity() * sizeof(AsId) +
+             nbr_rel_.capacity() * sizeof(topo::Rel);
+  for (const auto& [p, st] : prefixes_) {
+    ++m.prefixes;
+    m.bytes += sizeof(p) + sizeof(st) + kMapNodeOverhead;
+    m.bytes += st.in_path.capacity() * sizeof(PathRef) +
+               st.in_comm.capacity() * sizeof(CommunitiesRef) +
+               st.in_learned.capacity() + st.in_present.capacity() +
+               st.in_hints.capacity() * sizeof(HintTable::value_type);
+    m.bytes += st.out_tag.capacity() +
+               st.out_path.capacity() * sizeof(PathRef) +
+               st.out_comm.capacity() * sizeof(CommunitiesRef) +
+               st.out_hints.capacity() * sizeof(HintTable::value_type);
+    m.bytes += st.damping.size() * (sizeof(AsId) + sizeof(DampingState) +
+                                    kMapNodeOverhead);
+    for (const std::uint8_t present : st.in_present) m.routes += present;
+    for (const std::uint8_t tag : st.out_tag) {
+      if (tag == kOutUnit) ++m.adj_out_slots;
+    }
+  }
+  return m;
 }
 
 }  // namespace lg::bgp

@@ -6,11 +6,27 @@
 // import filter sees its own ASN and rejects (treating the update as a
 // withdrawal of whatever that neighbor previously advertised), so A and
 // everything captive behind it lose the route while other ASes route around.
+//
+// Storage layout (Internet-scale refactor): per-prefix state is a
+// struct-of-arrays RIB keyed by a dense per-speaker *neighbor slot* — the
+// rank of the neighbor's AS id in this speaker's sorted adjacency list. The
+// graph is immutable once routing starts, so the slot table is built once
+// and every RIB table (Adj-RIB-In paths, interned communities, learned-from
+// tags, presence bits, Adj-RIB-Out tags) becomes a flat vector indexed by
+// slot. Compared with the former unordered_map<AsId, Route> layout this
+// removes per-entry node allocations and hashing, shrinks a resident route
+// to ~34 bytes of holder state (PathRef + CommunitiesRef + two tag bytes)
+// plus buffers shared across all holders, and makes iteration order the
+// deterministic ascending-neighbor-id order the decision process already
+// ties on. Avoid hints are rare, so they live in small sorted sparse
+// side-tables instead of widening every slot. See docs/TOPOLOGIES.md for
+// the bytes/route model.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bgp/types.h"
@@ -95,38 +111,51 @@ class BgpSpeaker {
 
   // ---- Views ----
   const Route* best_route(const Prefix& prefix) const;
-  // All Adj-RIB-In entries for a prefix (diagnostics/tests).
+  // All Adj-RIB-In entries for a prefix (diagnostics/tests), best first.
   std::vector<Route> rib_in(const Prefix& prefix) const;
   // Longest-prefix-match over origin + best routes. Falls back to the
   // default route if configured.
   FibResult fib_lookup(topo::Ipv4 dst) const;
 
-  // One advertisable unit: path + attached attributes. The path is a
-  // PathRef, so the engine's UpdateMessage, the delivery lambda, and the
-  // receiver's Adj-RIB-In all share one buffer with the Adj-RIB-Out entry.
+  // One advertisable unit: path + attached attributes. Path and communities
+  // are shared refs, so the engine's UpdateMessage, the delivery lambda, the
+  // receiver's Adj-RIB-In, and every neighbor's Adj-RIB-Out slot share the
+  // same buffers.
   struct ExportUnit {
     PathRef path;
-    Communities communities;
+    CommunitiesRef communities;
     std::optional<AvoidHint> avoid_hint;
     friend bool operator==(const ExportUnit&, const ExportUnit&) = default;
   };
 
   // What we would advertise to `neighbor` right now (nullopt = nothing).
+  // For re-exported routes the self-prepended path is computed once per
+  // Loc-RIB change and shared by every neighbor (Adj-RIB-Out delta
+  // encoding: per-neighbor state is a tag plus refs into the shared unit).
   std::optional<ExportUnit> export_path(const Prefix& prefix,
                                         AsId neighbor) const;
 
-  // Adj-RIB-Out bookkeeping (the engine diffs against this when MRAI fires).
-  const std::optional<ExportUnit>* last_advertised(const Prefix& prefix,
-                                                   AsId neighbor) const;
+  // ---- Adj-RIB-Out bookkeeping (the engine diffs against this when MRAI
+  // fires). Encoded per neighbor slot as a one-byte tag; kAdvertised slots
+  // additionally hold refs shared with the Loc-RIB export unit.
+  enum class AdjOutState : std::uint8_t {
+    kNeverAdvertised,  // no update ever sent on this session for this prefix
+    kWithdrawn,        // last update was a withdrawal (or explicit "nothing")
+    kAdvertised,       // last update announced adj_out_unit()
+  };
+  AdjOutState adj_out_state(const Prefix& prefix, AsId neighbor) const;
+  // The advertised unit; nullopt unless adj_out_state == kAdvertised.
+  std::optional<ExportUnit> adj_out_unit(const Prefix& prefix,
+                                         AsId neighbor) const;
   void record_advertised(const Prefix& prefix, AsId neighbor,
                          std::optional<ExportUnit> unit);
 
   // Prefixes this speaker has any state for.
   std::vector<Prefix> known_prefixes() const;
 
-  std::optional<topo::Rel> rel_of(AsId neighbor) const {
-    return graph_->relationship(id_, neighbor);
-  }
+  // Relationship of `neighbor` to this AS, via the dense slot table
+  // (O(log degree), no graph hashing).
+  std::optional<topo::Rel> rel_of(AsId neighbor) const;
 
   // Data-plane egress override: force all transit traffic out via this
   // neighbor (the knob an edge network turns to repair *forward* path
@@ -149,29 +178,89 @@ class BgpSpeaker {
     return avoid_notifications_;
   }
 
+  // Deterministic structural memory accounting: bytes held by this
+  // speaker's RIB containers (shared path/community buffers excluded — they
+  // are counted once per distinct buffer, not per holder) and resident
+  // route counts. Feeds the bytes/route headline of BM_RibMemory and
+  // bench/internet_scale; see docs/TOPOLOGIES.md for the model.
+  struct RibMemory {
+    std::size_t bytes = 0;          // container footprint in bytes
+    std::size_t routes = 0;         // present Adj-RIB-In slots
+    std::size_t adj_out_slots = 0;  // advertised Adj-RIB-Out slots
+    std::size_t prefixes = 0;       // prefix states held
+  };
+  RibMemory rib_memory() const;
+
  private:
   struct DampingState {
     double penalty = 0.0;
     double last_update = 0.0;
     bool suppressed = false;
   };
+  // Sparse (slot, hint) side-table, ascending by slot. Hints are attached
+  // to a small minority of routes, so they do not widen the dense arrays.
+  using HintTable = std::vector<std::pair<std::uint32_t, AvoidHint>>;
+
   struct PrefixState {
-    std::unordered_map<AsId, Route> rib_in;
+    // ---- Adj-RIB-In, struct-of-arrays over neighbor slots. Sized lazily
+    // on the first accepted import (origin-only states stay empty).
+    std::vector<PathRef> in_path;
+    std::vector<CommunitiesRef> in_comm;
+    std::vector<std::uint8_t> in_learned;  // LearnedFrom
+    std::vector<std::uint8_t> in_present;
+    HintTable in_hints;  // entries only for present slots carrying a hint
+
     std::optional<Route> best;
     std::optional<OriginPolicy> origin;
-    std::unordered_map<AsId, std::optional<ExportUnit>> adj_out;
+    // Interned copy of origin->communities, built once at
+    // set_origin_policy so export_path never re-allocates it.
+    CommunitiesRef origin_comm;
+
+    // Cached self-prepended Loc-RIB export path, shared by every neighbor
+    // this route is advertised to. Invalidated on best-route change.
+    PathRef export_cache;
+    bool export_cache_valid = false;
+
+    // ---- Adj-RIB-Out delta encoding, struct-of-arrays over neighbor
+    // slots: a tag byte (AdjOutTag) plus path/communities refs that alias
+    // the shared export unit. Sized lazily on the first record.
+    std::vector<std::uint8_t> out_tag;
+    std::vector<PathRef> out_path;
+    std::vector<CommunitiesRef> out_comm;
+    HintTable out_hints;
+
     std::unordered_map<AsId, DampingState> damping;
   };
+  enum AdjOutTag : std::uint8_t { kOutUnset = 0, kOutNone = 1, kOutUnit = 2 };
+
+  // Dense neighbor slot table (built lazily from the immutable graph).
+  void ensure_neighbors() const;
+  // Slot of `neighbor` in the sorted adjacency, or kNoSlot.
+  std::uint32_t slot_of(AsId neighbor) const;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  static void ensure_in(PrefixState& st, std::size_t n);
+  static void ensure_out(PrefixState& st, std::size_t n);
+  static const AvoidHint* hint_at(const HintTable& t, std::uint32_t slot);
+  static void set_hint(HintTable& t, std::uint32_t slot,
+                       const std::optional<AvoidHint>& hint);
 
   // Returns true if best changed.
   bool recompute_best(const Prefix& prefix, PrefixState& st);
-  bool import_acceptable(const UpdateMessage& msg) ;
+  bool import_acceptable(const UpdateMessage& msg);
   PrefixState& state_for(const Prefix& prefix);
   const PrefixState* find_state(const Prefix& prefix) const;
 
   AsId id_;
   const topo::AsGraph* graph_;
   SpeakerConfig cfg_;
+  // Sorted neighbor ids + parallel relationship array; the slot index into
+  // every per-prefix RIB table. Lazily built (mutable) because speakers may
+  // be constructed while the graph is still being assembled; the graph is
+  // immutable once the first update flows.
+  mutable std::vector<AsId> nbr_ids_;
+  mutable std::vector<topo::Rel> nbr_rel_;
+  mutable bool nbrs_built_ = false;
   std::unordered_map<Prefix, PrefixState, topo::PrefixHash> prefixes_;
   std::optional<AsId> forced_egress_;
   bool len_present_[33] = {};

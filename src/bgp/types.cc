@@ -10,6 +10,11 @@ const AsPath& PathRef::empty_path() noexcept {
   return kEmpty;
 }
 
+const Communities& CommunitiesRef::empty_set() noexcept {
+  static const Communities kEmpty;
+  return kEmpty;
+}
+
 std::string path_str(const AsPath& path) {
   std::string out;
   for (std::size_t i = 0; i < path.size(); ++i) {

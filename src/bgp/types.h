@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bgp/communities_ref.h"
 #include "bgp/path_ref.h"
 #include "topology/as_graph.h"
 #include "topology/prefix.h"
@@ -25,9 +26,9 @@ using topo::Prefix;
 // BGP community attribute values (RFC 1997 style, opaque 32-bit tags). The
 // paper probes communities as a possible AVOID_PROBLEM notification channel
 // (§2.3) and finds they are not viable: many networks strip them, so they
-// never reach arbitrary ASes.
-using Community = std::uint32_t;
-using Communities = std::vector<Community>;
+// never reach arbitrary ASes. `Community`/`Communities` are defined in
+// communities_ref.h next to the interned CommunitiesRef wrapper that routes
+// and update messages carry.
 
 std::string path_str(const AsPath& path);
 
@@ -75,7 +76,9 @@ struct Route {
   PathRef path;           // as received (no self-prepend); shared buffer
   AsId neighbor = topo::kInvalidAs;  // who advertised it to us
   LearnedFrom learned = LearnedFrom::kLocal;
-  Communities communities;  // as received (possibly stripped upstream)
+  // As received (possibly stripped upstream); interned, shared with the
+  // update message it arrived in and every re-export of this route.
+  CommunitiesRef communities;
   std::optional<AvoidHint> avoid_hint;  // as received
 
   std::size_t path_length() const noexcept { return path.size(); }
@@ -100,8 +103,8 @@ struct UpdateMessage {
   // requeues reorder deliveries (an update sent earlier must never be
   // applied after one sent later on the same session for the same prefix).
   std::uint64_t seq = 0;
-  PathRef path;             // valid iff type == kAnnounce; shared buffer
-  Communities communities;  // valid iff type == kAnnounce
+  PathRef path;                // valid iff type == kAnnounce; shared buffer
+  CommunitiesRef communities;  // valid iff type == kAnnounce; shared buffer
   std::optional<AvoidHint> avoid_hint;  // valid iff type == kAnnounce
 
   std::string str() const;
@@ -116,7 +119,9 @@ struct OriginPolicy {
   std::optional<PathRef> default_path;
   // Per-neighbor overrides; nullopt value = withhold from that neighbor.
   std::unordered_map<AsId, std::optional<PathRef>> per_neighbor;
-  // Communities attached to every announcement of this prefix.
+  // Communities attached to every announcement of this prefix. Kept as a
+  // plain mutable vector (policies are built incrementally by callers); the
+  // speaker interns it into a CommunitiesRef once at set_origin_policy.
   Communities communities;
   // AVOID_PROBLEM hint attached to every announcement of this prefix.
   std::optional<AvoidHint> avoid_hint;

@@ -251,7 +251,7 @@ void InvariantChecker::check_adj_out_consistency(
     const auto& sender = engine_->speaker(s);
     for (const Prefix& p : sender.known_prefixes()) {
       for (const auto& n : engine_->graph().neighbors(s)) {
-        const auto* adv = sender.last_advertised(p, n.id);
+        const auto adv_state = sender.adj_out_state(p, n.id);
         const auto& receiver = engine_->speaker(n.id);
         // The receiver's Adj-RIB-In entry learned from s, if any.
         std::optional<bgp::Route> entry;
@@ -264,7 +264,7 @@ void InvariantChecker::check_adj_out_consistency(
         const std::string where = "session " + std::to_string(s) + "->" +
                                   std::to_string(n.id) + " prefix " +
                                   p.str();
-        if (adv == nullptr || !adv->has_value()) {
+        if (adv_state != bgp::BgpSpeaker::AdjOutState::kAdvertised) {
           // Nothing advertised (or explicitly withdrawn): the neighbor must
           // not be holding a route from us.
           if (entry) {
@@ -275,7 +275,7 @@ void InvariantChecker::check_adj_out_consistency(
           }
           continue;
         }
-        const bgp::BgpSpeaker::ExportUnit& unit = **adv;
+        const bgp::BgpSpeaker::ExportUnit unit = *sender.adj_out_unit(p, n.id);
         // Replicate the receiver's import filter: a rejected advertisement
         // legitimately leaves no RIB entry.
         const auto& rcfg = receiver.config();
@@ -437,18 +437,18 @@ void InvariantChecker::check_export_fixpoint(
     for (const Prefix& p : sender.known_prefixes()) {
       for (const auto& n : engine_->graph().neighbors(s)) {
         const auto current = sender.export_path(p, n.id);
-        const auto* adv = sender.last_advertised(p, n.id);
+        const auto adv_state = sender.adj_out_state(p, n.id);
         const std::string where = "session " + std::to_string(s) + "->" +
                                   std::to_string(n.id) + " prefix " +
                                   p.str();
-        if (adv == nullptr) {
+        if (adv_state == bgp::BgpSpeaker::AdjOutState::kNeverAdvertised) {
           if (current) {
             out.push_back({"export_fixpoint",
                            "exportable route never advertised: " + where});
           }
           continue;
         }
-        if (*adv != current) {
+        if (sender.adj_out_unit(p, n.id) != current) {
           out.push_back({"export_fixpoint",
                          "pending Adj-RIB-Out diff at quiescence: " + where});
         }

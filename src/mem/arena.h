@@ -1,0 +1,118 @@
+// Arena: a bump allocator for phase-scoped scratch.
+//
+// Internet-scale convergence churns through short-lived per-frontier scratch
+// (token buffers during CAIDA ingest, per-pump work lists) whose lifetimes
+// all end at a well-defined point. An Arena turns each of those allocations
+// into a pointer bump inside a geometrically-growing chain of blocks, and
+// `reset()` recycles the whole chain in O(blocks) without returning memory
+// to the OS — so steady-state phases allocate nothing after warm-up.
+//
+// Not thread-safe by design: every arena is owned by exactly one phase of
+// one thread (the same confinement rule the frontier pump's ReceiverWork
+// slots follow). Trivially-destructible payloads only — reset() never runs
+// destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace lg::mem {
+
+class Arena {
+ public:
+  // `first_block` is rounded up to kMinBlock; later blocks double until
+  // kMaxBlock. Oversized requests get a dedicated block of their own size.
+  explicit Arena(std::size_t first_block = 4096)
+      : next_block_size_(first_block < kMinBlock ? kMinBlock : first_block) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    if (p + bytes > limit_) {
+      grow(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    }
+    cursor_ = p + bytes;
+    live_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Typed helpers. T must be trivially destructible: reset() drops the
+  // blocks' contents without running destructors.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena payloads must be trivially destructible");
+    return ::new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena payloads must be trivially destructible");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Make every block reusable again. Capacity is retained.
+  void reset() noexcept {
+    live_ = 0;
+    if (blocks_.empty()) {
+      cursor_ = limit_ = 0;
+    } else {
+      cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.front().data.get());
+      limit_ = cursor_ + blocks_.front().size;
+      block_in_use_ = 0;
+    }
+  }
+
+  // Bytes handed out since construction/reset, and total block capacity.
+  std::size_t bytes_allocated() const noexcept { return live_; }
+  std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kMinBlock = 1024;
+  static constexpr std::size_t kMaxBlock = 1u << 20;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t need) {
+    // Reuse the next retained block if it is big enough (post-reset path).
+    while (block_in_use_ + 1 < blocks_.size()) {
+      Block& b = blocks_[++block_in_use_];
+      if (b.size >= need) {
+        cursor_ = reinterpret_cast<std::uintptr_t>(b.data.get());
+        limit_ = cursor_ + b.size;
+        return;
+      }
+    }
+    std::size_t size = next_block_size_;
+    if (size < need) size = need;
+    if (next_block_size_ < kMaxBlock) next_block_size_ *= 2;
+    Block b{std::make_unique<std::byte[]>(size), size};
+    cursor_ = reinterpret_cast<std::uintptr_t>(b.data.get());
+    limit_ = cursor_ + size;
+    blocks_.push_back(std::move(b));
+    block_in_use_ = blocks_.size() - 1;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_in_use_ = 0;
+  std::size_t next_block_size_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace lg::mem

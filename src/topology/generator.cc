@@ -1,7 +1,12 @@
 #include "topology/generator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
+
+#include "topology/io.h"
 
 namespace lg::topo {
 
@@ -147,6 +152,204 @@ GeneratedTopology generate_topology(const TopologyParams& params) {
     throw std::runtime_error("generated topology invalid: " + *err);
   }
   return topo;
+}
+
+namespace {
+
+// O(1)-per-pick preferential attachment: every candidate appears in the
+// endpoint pool once at creation and once more per customer link it gains,
+// so a uniform draw over the pool is a draw weighted by (degree + 1) —
+// the same distribution pick_preferential computes in O(pool), without the
+// scan. This is what makes 70k-AS generation sub-second.
+class PreferentialPool {
+ public:
+  void add(AsId id) { endpoints_.push_back(id); }
+
+  // Draw a candidate distinct from `self` and not already in `chosen`.
+  AsId pick(util::Rng& rng, AsId self, const std::vector<AsId>& chosen) const {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const AsId id = endpoints_[rng.uniform_u32(
+          static_cast<std::uint32_t>(endpoints_.size()))];
+      if (id == self) continue;
+      if (std::find(chosen.begin(), chosen.end(), id) != chosen.end()) {
+        continue;
+      }
+      return id;
+    }
+    // Degenerate pools (e.g. two candidates, both excluded) fall back to a
+    // deterministic scan for the lowest eligible id.
+    for (const AsId id : endpoints_) {
+      if (id != self &&
+          std::find(chosen.begin(), chosen.end(), id) == chosen.end()) {
+        return id;
+      }
+    }
+    throw std::runtime_error("empty provider pool");
+  }
+
+ private:
+  std::vector<AsId> endpoints_;
+};
+
+}  // namespace
+
+GeneratedTopology generate_internet_scale(const InternetScaleParams& params) {
+  if (params.num_tier1 < 2) throw std::invalid_argument("need >= 2 tier-1s");
+  const std::uint32_t n_transit = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::lround(params.transit_fraction *
+                         static_cast<double>(params.total_ases))));
+  if (params.total_ases < params.num_tier1 + n_transit + 1) {
+    throw std::invalid_argument("total_ases too small for the role split");
+  }
+  const std::uint32_t n_stub = params.total_ases - params.num_tier1 - n_transit;
+
+  GeneratedTopology topo;
+  util::Rng rng(params.seed, /*stream=*/0x696e6574ULL);
+  AsId next_id = 1;
+
+  // Tier-1 clique (the default-free zone).
+  topo.tier1.reserve(params.num_tier1);
+  for (std::uint32_t i = 0; i < params.num_tier1; ++i) {
+    topo.graph.add_as(next_id, AsTier::kTier1);
+    topo.tier1.push_back(next_id++);
+  }
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      topo.graph.add_link(topo.tier1[i], topo.tier1[j], Rel::kPeer);
+    }
+  }
+
+  // Transit layer: each new transit multihomes to 2 (sometimes 3) providers
+  // drawn preferentially from the ASes created before it — a growth process
+  // whose stationary degree distribution is the heavy tail observed in the
+  // real AS graph. Creation order makes the customer-provider DAG acyclic
+  // by construction.
+  PreferentialPool provider_pool;
+  for (const AsId t1 : topo.tier1) provider_pool.add(t1);
+  std::vector<AsId> transits;
+  transits.reserve(n_transit);
+  std::vector<AsId> chosen;
+  for (std::uint32_t i = 0; i < n_transit; ++i) {
+    topo.graph.add_as(next_id, AsTier::kTransit);
+    const AsId id = next_id++;
+    const int nprov = 2 + (rng.bernoulli(params.transit_extra_provider_prob)
+                               ? 1
+                               : 0);
+    chosen.clear();
+    for (int k = 0; k < nprov; ++k) {
+      const AsId prov = provider_pool.pick(rng, id, chosen);
+      chosen.push_back(prov);
+      topo.graph.add_link(id, prov, Rel::kProvider);
+      provider_pool.add(prov);  // one more endpoint per customer gained
+    }
+    provider_pool.add(id);
+    transits.push_back(id);
+  }
+
+  // Settlement-free peering among transits: expected peer_links_per_transit
+  // links each, partner drawn preferentially (big regionals peer most).
+  if (!transits.empty() && params.peer_links_per_transit > 0.0) {
+    PreferentialPool transit_pool;
+    for (const AsId t : transits) transit_pool.add(t);
+    const auto n_peer_links = static_cast<std::uint64_t>(
+        std::llround(params.peer_links_per_transit *
+                     static_cast<double>(transits.size())));
+    chosen.clear();
+    for (std::uint64_t k = 0; k < n_peer_links; ++k) {
+      const AsId a =
+          transits[rng.uniform_u32(static_cast<std::uint32_t>(transits.size()))];
+      const AsId b = transit_pool.pick(rng, a, chosen);
+      // Skip pairs already linked (provider chains or an earlier peering);
+      // the expected-count model tolerates the misses.
+      if (a == b || topo.graph.has_link(a, b)) continue;
+      topo.graph.add_link(a, b, Rel::kPeer);
+    }
+  }
+
+  // Stub edge: 1-3 providers drawn preferentially from the transit layer
+  // (tier-1s included — large enterprises do buy transit from them).
+  for (std::uint32_t i = 0; i < n_stub; ++i) {
+    topo.graph.add_as(next_id, AsTier::kStub);
+    const AsId id = next_id++;
+    int nprov = 1;
+    if (rng.bernoulli(params.stub_second_provider_prob)) {
+      nprov = 2;
+      if (rng.bernoulli(params.stub_third_provider_prob)) nprov = 3;
+    }
+    chosen.clear();
+    for (int k = 0; k < nprov; ++k) {
+      const AsId prov = provider_pool.pick(rng, id, chosen);
+      chosen.push_back(prov);
+      topo.graph.add_link(id, prov, Rel::kProvider);
+      provider_pool.add(prov);
+    }
+    topo.stubs.push_back(id);
+  }
+
+  // Role split for feed/vantage selection: top decile of transits by degree
+  // are "large" (deterministic tie-break on id).
+  std::sort(transits.begin(), transits.end(), [&](AsId a, AsId b) {
+    const auto da = topo.graph.degree(a);
+    const auto db = topo.graph.degree(b);
+    return da != db ? da > db : a < b;
+  });
+  const std::size_t n_large = std::max<std::size_t>(1, transits.size() / 10);
+  topo.large_transit.assign(transits.begin(), transits.begin() + n_large);
+  topo.small_transit.assign(transits.begin() + n_large, transits.end());
+  std::sort(topo.large_transit.begin(), topo.large_transit.end());
+  std::sort(topo.small_transit.begin(), topo.small_transit.end());
+
+  if (const auto err = topo.graph.validate()) {
+    throw std::runtime_error("generated topology invalid: " + *err);
+  }
+  return topo;
+}
+
+GeneratedTopology classify_topology(AsGraph graph) {
+  graph.reclassify_tiers();
+  if (const auto err = graph.validate()) {
+    throw std::runtime_error("loaded topology invalid: " + *err);
+  }
+  GeneratedTopology topo;
+  topo.tier1 = graph.as_ids_with_tier(AsTier::kTier1);
+  topo.stubs = graph.as_ids_with_tier(AsTier::kStub);
+  std::vector<AsId> transits = graph.as_ids_with_tier(AsTier::kTransit);
+  std::sort(transits.begin(), transits.end(), [&](AsId a, AsId b) {
+    const auto da = graph.degree(a);
+    const auto db = graph.degree(b);
+    return da != db ? da > db : a < b;
+  });
+  const std::size_t n_large =
+      transits.empty() ? 0 : std::max<std::size_t>(1, transits.size() / 10);
+  topo.large_transit.assign(transits.begin(), transits.begin() + n_large);
+  topo.small_transit.assign(transits.begin() + n_large, transits.end());
+  std::sort(topo.large_transit.begin(), topo.large_transit.end());
+  std::sort(topo.small_transit.begin(), topo.small_transit.end());
+  topo.graph = std::move(graph);
+  return topo;
+}
+
+GeneratedTopology topology_from_env(const TopologyParams& fallback) {
+  if (const char* file = std::getenv("LG_TOPOLOGY_FILE");
+      file != nullptr && file[0] != '\0') {
+    return classify_topology(load_caida_file(file));
+  }
+  if (const char* scale = std::getenv("LG_TOPOLOGY_SCALE");
+      scale != nullptr && scale[0] != '\0') {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(scale, &end, 10);
+    if (end == scale || *end != '\0' || n < 16 || n > 10'000'000ULL) {
+      throw std::invalid_argument(
+          "LG_TOPOLOGY_SCALE must be an integer in [16, 10000000], got '" +
+          std::string(scale) + "'");
+    }
+    InternetScaleParams params;
+    params.total_ases = static_cast<std::uint32_t>(n);
+    params.seed = fallback.seed;
+    return generate_internet_scale(params);
+  }
+  return generate_topology(fallback);
 }
 
 Fig2Topology make_fig2_topology() {

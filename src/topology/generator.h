@@ -59,6 +59,41 @@ struct GeneratedTopology {
 // Generates a valid topology (GeneratedTopology::graph passes validate()).
 GeneratedTopology generate_topology(const TopologyParams& params);
 
+// Degree-matched synthetic generator at real-Internet scale (~70k ASes,
+// average degree ~6, heavy-tailed transit degrees). Same three-level
+// Gao-Rexford structure as generate_topology, but built with O(1)
+// repeated-endpoint preferential attachment so 70k ASes generate in well
+// under a second — the quadratic peering loops of TopologyParams would take
+// hours there. Knobs and the degree model are documented in
+// docs/TOPOLOGIES.md.
+struct InternetScaleParams {
+  std::uint32_t total_ases = 70000;
+  std::uint32_t num_tier1 = 12;          // full peering clique (DFZ core)
+  double transit_fraction = 0.14;        // CAIDA-like share of ASes with customers
+  // Providers: transits take 2 (+1 with the extra prob); stubs take 1 with
+  // chances of a 2nd/3rd — matching observed multihoming rates.
+  double transit_extra_provider_prob = 0.50;
+  double stub_second_provider_prob = 0.45;
+  double stub_third_provider_prob = 0.12;
+  // Expected settlement-free peering links added per transit AS.
+  double peer_links_per_transit = 1.0;
+  std::uint64_t seed = 42;
+};
+GeneratedTopology generate_internet_scale(const InternetScaleParams& params);
+
+// Wrap an externally loaded graph (e.g. a CAIDA relationship file) in the
+// role structure experiments expect: tiers are reclassified from the
+// relationship structure, transits are split into large/small by degree
+// (top decile = large). Throws if the graph fails validate().
+GeneratedTopology classify_topology(AsGraph graph);
+
+// Resolve the world topology from the environment:
+//   LG_TOPOLOGY_FILE=<path>  — load a CAIDA serial-1/2 relationship file;
+//   LG_TOPOLOGY_SCALE=<n>    — generate_internet_scale with n total ASes;
+// otherwise generate_topology(fallback). FILE wins over SCALE. This is the
+// single wiring point workload::SimWorld and the bench harnesses share.
+GeneratedTopology topology_from_env(const TopologyParams& fallback);
+
 // Tiny fixed topologies used by unit tests and the paper's illustrative
 // figures.
 //

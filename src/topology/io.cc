@@ -1,10 +1,9 @@
 #include "topology/io.h"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-
-#include "util/strings.h"
 
 namespace lg::topo {
 
@@ -36,10 +35,36 @@ std::string to_caida(const AsGraph& graph) {
 
 namespace {
 
-AsId parse_as(const std::string& field, std::size_t line_no) {
+// '|'-separated fields with empty tokens preserved (so `1||-1` reports an
+// empty field instead of a misleading count) and per-field whitespace —
+// including the '\r' left by CRLF dumps — trimmed.
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == '|') {
+      std::size_t lo = start;
+      std::size_t hi = i;
+      while (lo < hi && std::isspace(static_cast<unsigned char>(line[lo]))) {
+        ++lo;
+      }
+      while (hi > lo &&
+             std::isspace(static_cast<unsigned char>(line[hi - 1]))) {
+        --hi;
+      }
+      out.push_back(line.substr(lo, hi - lo));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+AsId parse_as(const std::string& field, std::size_t line_no,
+              std::size_t field_no) {
   if (field.empty()) {
     throw std::invalid_argument("line " + std::to_string(line_no) +
-                                ": empty AS field");
+                                ": empty AS field " +
+                                std::to_string(field_no + 1));
   }
   std::uint64_t value = 0;
   for (const char c : field) {
@@ -68,15 +93,22 @@ AsGraph read_caida(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#') continue;
-    const auto fields = util::split(line, '|');
+    // Skip blank lines (including CRLF-only) and comments, tolerating
+    // leading whitespace before the '#'.
+    std::size_t first = 0;
+    while (first < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[first]))) {
+      ++first;
+    }
+    if (first == line.size() || line[first] == '#') continue;
+    const auto fields = split_fields(line);
     // serial-2 dumps carry a fourth "source" field; accept and ignore it.
     if (fields.size() != 3 && fields.size() != 4) {
       throw std::invalid_argument("line " + std::to_string(line_no) +
                                   ": expected a|b|rel, got '" + line + "'");
     }
-    const AsId a = parse_as(fields[0], line_no);
-    const AsId b = parse_as(fields[1], line_no);
+    const AsId a = parse_as(fields[0], line_no, 0);
+    const AsId b = parse_as(fields[1], line_no, 1);
     if (a == b) {
       throw std::invalid_argument("line " + std::to_string(line_no) +
                                   ": self link on AS " + std::to_string(a));
@@ -86,6 +118,9 @@ AsGraph read_caida(std::istream& in) {
       rel_of_b_to_a = Rel::kCustomer;  // a provides to b => b is a's customer
     } else if (fields[2] == "0") {
       rel_of_b_to_a = Rel::kPeer;
+    } else if (fields[2].empty()) {
+      throw std::invalid_argument("line " + std::to_string(line_no) +
+                                  ": empty relationship field");
     } else {
       throw std::invalid_argument("line " + std::to_string(line_no) +
                                   ": unknown relationship '" + fields[2] +

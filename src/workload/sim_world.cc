@@ -7,7 +7,7 @@
 namespace lg::workload {
 
 SimWorld::SimWorld(SimWorldConfig cfg)
-    : topo_(topo::generate_topology(cfg.topology)),
+    : topo_(topo::topology_from_env(cfg.topology)),
       resp_(cfg.responsiveness) {
   auto& reg = obs::MetricsRegistry::current();
   c_sched_executed_ = &reg.counter("lg.scheduler.events_executed");

@@ -27,6 +27,11 @@ namespace lg::workload {
 using topo::AsId;
 
 struct SimWorldConfig {
+  // Baseline synthetic topology; overridden world-wide by LG_TOPOLOGY_FILE
+  // (CAIDA relationship file) or LG_TOPOLOGY_SCALE (internet-scale
+  // synthetic) via topo::topology_from_env. At Internet scale pair the
+  // override with announce_infrastructure = false — one /24 per AS is an
+  // N^2 RIB nobody needs (bench/internet_scale originates a single prefix).
   topo::TopologyParams topology;
   bgp::EngineConfig engine;
   measure::ResponsivenessConfig responsiveness;

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "topology/io.h"
 
 namespace lg::topo {
 namespace {
@@ -72,6 +76,122 @@ TEST(GeneratorTest, DegreeDistributionIsHeavyTailed) {
 
 TEST(GeneratorTest, RejectsDegenerateParams) {
   EXPECT_THROW(generate_topology({.num_tier1 = 1}), std::invalid_argument);
+}
+
+TEST(InternetScaleTest, ProducesValidGraphAtModestScale) {
+  const auto topo = generate_internet_scale({.total_ases = 2000, .seed = 5});
+  EXPECT_EQ(topo.graph.num_ases(), 2000u);
+  EXPECT_FALSE(topo.graph.validate().has_value());
+  EXPECT_EQ(topo.tier1.size(), 12u);
+  EXPECT_FALSE(topo.large_transit.empty());
+  EXPECT_FALSE(topo.small_transit.empty());
+  EXPECT_FALSE(topo.stubs.empty());
+  EXPECT_EQ(topo.tier1.size() + topo.large_transit.size() +
+                topo.small_transit.size() + topo.stubs.size(),
+            2000u);
+}
+
+TEST(InternetScaleTest, DeterministicPerSeed) {
+  const auto a = generate_internet_scale({.total_ases = 1000, .seed = 7});
+  const auto b = generate_internet_scale({.total_ases = 1000, .seed = 7});
+  const auto c = generate_internet_scale({.total_ases = 1000, .seed = 8});
+  EXPECT_EQ(a.graph.links(), b.graph.links());
+  EXPECT_NE(a.graph.links(), c.graph.links());
+}
+
+TEST(InternetScaleTest, DegreeStatsMatchInternetShape) {
+  const auto topo = generate_internet_scale({.total_ases = 5000, .seed = 11});
+  std::vector<std::size_t> degrees;
+  std::size_t total_degree = 0;
+  for (const AsId as : topo.graph.as_ids()) {
+    degrees.push_back(topo.graph.degree(as));
+    total_degree += degrees.back();
+  }
+  const double avg =
+      static_cast<double>(total_degree) / static_cast<double>(degrees.size());
+  // Real AS graph: average degree ~4-6, heavy tail at the top.
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 10.0);
+  std::sort(degrees.rbegin(), degrees.rend());
+  EXPECT_GT(degrees.front(), degrees[degrees.size() / 2] * 20);
+}
+
+TEST(InternetScaleTest, RejectsDegenerateParams) {
+  EXPECT_THROW(generate_internet_scale({.total_ases = 10, .num_tier1 = 12}),
+               std::invalid_argument);
+}
+
+TEST(ClassifyTopologyTest, WrapsLoadedGraphWithRoles) {
+  const auto generated = generate_internet_scale({.total_ases = 800, .seed = 3});
+  auto reloaded = classify_topology(from_caida(to_caida(generated.graph)));
+  EXPECT_EQ(reloaded.graph.num_ases(), generated.graph.num_ases());
+  EXPECT_EQ(reloaded.tier1.size(), generated.tier1.size());
+  // Role partition covers the graph; large transit = top decile by degree.
+  EXPECT_EQ(reloaded.tier1.size() + reloaded.large_transit.size() +
+                reloaded.small_transit.size() + reloaded.stubs.size(),
+            reloaded.graph.num_ases());
+  for (const AsId as : reloaded.large_transit) {
+    EXPECT_EQ(reloaded.graph.tier(as), AsTier::kTransit);
+  }
+  for (const AsId as : reloaded.stubs) {
+    EXPECT_TRUE(reloaded.graph.customers(as).empty());
+  }
+}
+
+// RAII env guard so failures can't leak topology overrides into later tests.
+class EnvGuard {
+ public:
+  EnvGuard(const char* key, const std::string& value) : key_(key) {
+    ::setenv(key, value.c_str(), 1);
+  }
+  ~EnvGuard() { ::unsetenv(key_); }
+
+ private:
+  const char* key_;
+};
+
+TEST(TopologyFromEnvTest, DefaultsToFallbackParams) {
+  const TopologyParams fallback{.num_tier1 = 4,
+                                .num_large_transit = 8,
+                                .num_small_transit = 16,
+                                .num_stubs = 40,
+                                .seed = 21};
+  const auto topo = topology_from_env(fallback);
+  EXPECT_EQ(topo.graph.links(), generate_topology(fallback).graph.links());
+}
+
+TEST(TopologyFromEnvTest, ScaleOverrideGeneratesInternetScale) {
+  const EnvGuard guard("LG_TOPOLOGY_SCALE", "500");
+  const TopologyParams fallback{.seed = 33};
+  const auto topo = topology_from_env(fallback);
+  EXPECT_EQ(topo.graph.num_ases(), 500u);
+  // The fallback's seed carries over so trials stay reproducible.
+  InternetScaleParams params;
+  params.total_ases = 500;
+  params.seed = 33;
+  EXPECT_EQ(topo.graph.links(), generate_internet_scale(params).graph.links());
+}
+
+TEST(TopologyFromEnvTest, FileOverrideWinsOverScale) {
+  const auto source = generate_topology({.num_tier1 = 3,
+                                         .num_large_transit = 6,
+                                         .num_small_transit = 12,
+                                         .num_stubs = 30,
+                                         .seed = 13});
+  const std::string path = ::testing::TempDir() + "/lg_topo_env_test.txt";
+  save_caida_file(source.graph, path);
+  const EnvGuard file_guard("LG_TOPOLOGY_FILE", path);
+  const EnvGuard scale_guard("LG_TOPOLOGY_SCALE", "500");
+  const auto topo = topology_from_env({});
+  EXPECT_EQ(topo.graph.links(), source.graph.links());
+  std::remove(path.c_str());
+}
+
+TEST(TopologyFromEnvTest, BadScaleValueThrows) {
+  const EnvGuard guard("LG_TOPOLOGY_SCALE", "bogus");
+  EXPECT_THROW(topology_from_env({}), std::invalid_argument);
+  const EnvGuard small("LG_TOPOLOGY_SCALE", "3");
+  EXPECT_THROW(topology_from_env({}), std::invalid_argument);
 }
 
 TEST(Fig2TopologyTest, MatchesPaperStructure) {

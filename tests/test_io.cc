@@ -67,6 +67,51 @@ TEST(TopologyIoTest, RoundTripPreservesGraph) {
   EXPECT_FALSE(loaded.validate().has_value());
 }
 
+TEST(TopologyIoTest, ToleratesCrlfAndFieldWhitespace) {
+  // CAIDA dumps fetched on Windows arrive CRLF-terminated and some scripts
+  // pad fields; both must parse to the same graph as the clean form.
+  const auto g = from_caida(
+      "# comment\r\n"
+      "\r\n"
+      "   # indented comment\n"
+      " 1 | 2 |-1 \r\n"
+      "2|3|-1\r\n"
+      "1\t|\t4|0\n");
+  EXPECT_EQ(g.num_ases(), 4u);
+  EXPECT_EQ(g.num_links(), 3u);
+  EXPECT_EQ(g.relationship(1, 2), Rel::kCustomer);
+  EXPECT_EQ(g.relationship(1, 4), Rel::kPeer);
+}
+
+TEST(TopologyIoTest, GoldenFixtureParsesExactly) {
+  // Golden mini-Internet: 3-AS tier-1 clique (1,2,3), transit 10 under 1
+  // and 2, stubs 100 and 200. Every relationship is pinned.
+  const char* fixture =
+      "# serial-1 golden fixture\n"
+      "1|2|0\n"
+      "1|3|0\n"
+      "2|3|0\n"
+      "1|10|-1\n"
+      "2|10|-1\n"
+      "10|100|-1\n"
+      "3|200|-1|mlp\n";  // serial-2 style source field
+  const auto g = from_caida(fixture);
+  EXPECT_EQ(g.num_ases(), 6u);
+  EXPECT_EQ(g.num_links(), 7u);
+  EXPECT_EQ(g.tier(1), AsTier::kTier1);
+  EXPECT_EQ(g.tier(2), AsTier::kTier1);
+  EXPECT_EQ(g.tier(3), AsTier::kTier1);
+  EXPECT_EQ(g.tier(10), AsTier::kTransit);
+  EXPECT_EQ(g.tier(100), AsTier::kStub);
+  EXPECT_EQ(g.tier(200), AsTier::kStub);
+  EXPECT_EQ(g.relationship(10, 1), Rel::kProvider);
+  EXPECT_EQ(g.relationship(10, 100), Rel::kCustomer);
+  EXPECT_EQ(g.relationship(200, 3), Rel::kProvider);
+  EXPECT_FALSE(g.validate().has_value());
+  // And the writer round-trips it (field order/format is canonical).
+  EXPECT_EQ(from_caida(to_caida(g)).links(), g.links());
+}
+
 TEST(TopologyIoTest, RejectsMalformedLines) {
   EXPECT_THROW(from_caida("1|2\n"), std::invalid_argument);
   EXPECT_THROW(from_caida("1|2|7\n"), std::invalid_argument);
@@ -84,6 +129,40 @@ TEST(TopologyIoTest, ErrorsCarryLineNumbers) {
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
   }
+}
+
+// Every rejection names the line and what is wrong with it — a 70k-AS dump
+// with one bad row must be debuggable from the message alone.
+TEST(TopologyIoTest, DiagnosticsNameTheProblem) {
+  const auto message_of = [](const std::string& text) -> std::string {
+    try {
+      from_caida(text);
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of("|2|-1\n").find("line 1: empty AS field 1"),
+            std::string::npos);
+  EXPECT_NE(message_of("1||-1\n").find("line 1: empty AS field 2"),
+            std::string::npos);
+  EXPECT_NE(message_of("1|2|\n").find("line 1: empty relationship field"),
+            std::string::npos);
+  EXPECT_NE(message_of("1|2|-1\n1|2|0\n").find("line 2: duplicate link 1-2"),
+            std::string::npos);
+  EXPECT_NE(message_of("7|7|0\n").find("line 1: self link on AS 7"),
+            std::string::npos);
+  EXPECT_NE(message_of("1|2|2\n").find("line 1: unknown relationship '2'"),
+            std::string::npos);
+  EXPECT_NE(message_of("1|2|-1\n\n3|x|0\n").find("line 3: non-numeric AS 'x'"),
+            std::string::npos);
+}
+
+TEST(TopologyIoTest, ConflictingDuplicateIsRejectedEitherOrder) {
+  // Same pair re-listed with a different relationship is still line 2's
+  // fault, whichever relationship came first.
+  EXPECT_THROW(from_caida("1|2|0\n2|1|-1\n"), std::invalid_argument);
+  EXPECT_THROW(from_caida("2|1|-1\n1|2|0\n"), std::invalid_argument);
 }
 
 TEST(TopologyIoTest, FileRoundTrip) {
