@@ -143,11 +143,16 @@ int main() {
   bench::section("Announcement-budget utilization (hard cap: 1.0)");
   std::printf("  %-8s %-8s %-12s %-12s %-12s %-10s\n", "targets", "out/h",
               "spent", "capacity", "utilization", "respected");
+  bool util_in_bounds = true;
   for (const CellRow& cell : cells) {
     const double cap = cell.result.announce_capacity();
+    const double util =
+        cap > 0.0 ? cell.result.announce_spent() / cap : 0.0;
+    // Regression surface for the utilization > 1.0 bug: no drain phase or
+    // horizon undershoot may ever push reported utilization out of [0, 1].
+    util_in_bounds = util_in_bounds && util >= 0.0 && util <= 1.0;
     std::printf("  %-8zu %-8.0f %-12.1f %-12.1f %-12.3f %-10s\n", cell.targets,
-                cell.rate, cell.result.announce_spent(), cap,
-                cap > 0.0 ? cell.result.announce_spent() / cap : 0.0,
+                cell.rate, cell.result.announce_spent(), cap, util,
                 cell.result.budget_respected() ? "yes" : "NO");
   }
 
@@ -200,6 +205,11 @@ int main() {
                  cap > 0.0 ? cell.result.announce_spent() / cap : 0.0);
   }
   jr->headline("budget_respected_all_cells", all_respected ? 1.0 : 0.0);
+  jr->headline("utilization_in_bounds", util_in_bounds ? 1.0 : 0.0);
+  if (!util_in_bounds) {
+    std::printf("\n  ERROR: announcement utilization outside [0, 1]\n");
+    return 1;
+  }
   // Stall-watchdog verdict across every cell (lg.fleet.stalled aggregates in
   // the global registry as shards merge). Expected 0 on a healthy plane; a
   // nonzero value names episodes parked past LG_FLEET_STALL_SECONDS.

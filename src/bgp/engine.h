@@ -52,6 +52,8 @@ class FaultPlane;
 
 namespace lg::util {
 class ThreadPool;
+class BinWriter;
+class BinReader;
 }  // namespace lg::util
 
 namespace lg::bgp {
@@ -160,6 +162,20 @@ class BgpEngine {
     std::size_t prefix_states = 0;  // per-speaker prefix states
   };
   RibMemoryTotals rib_memory() const;
+
+  // ---- Checkpoint/restore (implemented in bgp/snapshot.cc) ----
+  // Serialize the full control-plane state: every speaker's RIBs (with
+  // engine-wide interning of shared path/community buffers), the per-
+  // (session, prefix) MRAI tables, the engine RNG mid-stream (link-delay /
+  // MRAI jitter consumption), and the resettable counters. Precondition:
+  // the engine is quiesced — no frontier bucket pending and no update in
+  // flight (throws std::runtime_error otherwise; in-flight closures cannot
+  // be serialized).
+  void save_snapshot(util::BinWriter& w) const;
+  // Reinstate a snapshot taken by save_snapshot on an engine built over the
+  // same topology with the same configuration. Existing speaker state is
+  // replaced wholesale; the same quiescence precondition applies.
+  void load_snapshot(util::BinReader& r);
 
   // Public so the hash-quality regression tests can exercise it directly.
   struct SessionPrefixKey {

@@ -1,0 +1,92 @@
+// Engine-wide intern pools for BGP snapshot serialization.
+//
+// PathRef/CommunitiesRef deliberately share one immutable buffer across every
+// holder (Adj-RIB-In, Loc-RIB best, export cache, Adj-RIB-Out, origin
+// policies). A snapshot must preserve that sharing — both for size (one /24
+// universe at 100k prefixes holds millions of holder slots over a few
+// thousand distinct paths) and so a restored engine has the same allocation
+// shape as the original. The pools intern buffers by *address* on the write
+// side (all copies of one ref share the buffer, so the address is the
+// identity) and assign dense ids in first-encounter order, which is
+// deterministic because every caller walks its state in sorted order. Id 0
+// is reserved for the empty ref; a new buffer's contents are written inline
+// at its first reference, so the reader can rebuild the pool in one pass.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/communities_ref.h"
+#include "bgp/path_ref.h"
+#include "util/codec.h"
+
+namespace lg::bgp {
+
+struct SnapshotWriterPools {
+  std::unordered_map<const void*, std::uint32_t> path_id;
+  std::unordered_map<const void*, std::uint32_t> comm_id;
+
+  void path(util::BinWriter& w, const PathRef& p) {
+    if (p.empty()) {
+      w.u32(0);
+      return;
+    }
+    const void* key = &p.get();
+    const auto it = path_id.find(key);
+    if (it != path_id.end()) {
+      w.u32(it->second);
+      return;
+    }
+    const auto id = static_cast<std::uint32_t>(path_id.size() + 1);
+    path_id.emplace(key, id);
+    w.u32(id);
+    w.vec(p.get(), [&](topo::AsId as) { w.u32(as); });
+  }
+
+  void comm(util::BinWriter& w, const CommunitiesRef& c) {
+    if (c.empty()) {
+      w.u32(0);
+      return;
+    }
+    const void* key = &c.get();
+    const auto it = comm_id.find(key);
+    if (it != comm_id.end()) {
+      w.u32(it->second);
+      return;
+    }
+    const auto id = static_cast<std::uint32_t>(comm_id.size() + 1);
+    comm_id.emplace(key, id);
+    w.u32(id);
+    w.vec(c.get(), [&](Community v) { w.u32(v); });
+  }
+};
+
+struct SnapshotReaderPools {
+  // Index 0 is the empty ref.
+  std::vector<PathRef> paths{PathRef{}};
+  std::vector<CommunitiesRef> comms{CommunitiesRef{}};
+
+  PathRef path(util::BinReader& r) {
+    const std::uint32_t id = r.u32();
+    if (id < paths.size()) return paths[id];
+    if (id != paths.size()) {
+      throw std::runtime_error("snapshot: path intern id out of order");
+    }
+    AsPath hops = r.vec<topo::AsId>([&] { return r.u32(); });
+    paths.emplace_back(std::move(hops));
+    return paths.back();
+  }
+
+  CommunitiesRef comm(util::BinReader& r) {
+    const std::uint32_t id = r.u32();
+    if (id < comms.size()) return comms[id];
+    if (id != comms.size()) {
+      throw std::runtime_error("snapshot: communities intern id out of order");
+    }
+    Communities values = r.vec<Community>([&] { return r.u32(); });
+    comms.emplace_back(std::move(values));
+    return comms.back();
+  }
+};
+
+}  // namespace lg::bgp

@@ -33,7 +33,15 @@
 #include "topology/as_graph.h"
 #include "topology/prefix.h"
 
+namespace lg::util {
+class BinWriter;
+class BinReader;
+}  // namespace lg::util
+
 namespace lg::bgp {
+
+struct SnapshotWriterPools;
+struct SnapshotReaderPools;
 
 struct SpeakerConfig {
   // Import is rejected when our own ASN appears >= loop_threshold times in
@@ -190,6 +198,16 @@ class BgpSpeaker {
     std::size_t prefixes = 0;       // prefix states held
   };
   RibMemory rib_memory() const;
+
+  // ---- Checkpoint/restore (implemented in bgp/snapshot.cc) ----
+  // Serialize / reinstate this speaker's complete RIB state: every prefix
+  // state (Adj-RIB-In SoA tables, best route, origin policy, export cache,
+  // Adj-RIB-Out tags, damping), the runtime-mutable config, the forced
+  // egress, and the rejection counters. Shared path/community buffers are
+  // interned engine-wide through `pools`, so a buffer held by many slots is
+  // written once and the sharing survives the round trip.
+  void save_snapshot(util::BinWriter& w, SnapshotWriterPools& pools) const;
+  void load_snapshot(util::BinReader& r, SnapshotReaderPools& pools);
 
  private:
   struct DampingState {

@@ -63,6 +63,15 @@ class FailureInjector {
     return active_;
   }
 
+  // Checkpoint support: the id counter must survive a restore so ids issued
+  // after resume match the ids the original process would have issued.
+  FailureId next_id() const noexcept { return next_id_; }
+  void restore(std::vector<std::pair<FailureId, Failure>> active,
+               FailureId next_id) {
+    active_ = std::move(active);
+    next_id_ = next_id;
+  }
+
  private:
   static bool scope_matches(const Failure& f, AsId dst_owner);
   std::vector<std::pair<FailureId, Failure>> active_;

@@ -40,6 +40,9 @@ class TokenBucket {
 
   double rate() const noexcept { return rate_; }
   double burst() const noexcept { return burst_; }
+  // Simulated timestamp of the last refill — i.e. how much of the bucket's
+  // lifetime the lazy refill has actually accounted for.
+  double last_refill() const noexcept { return last_; }
   // Totals over the bucket's lifetime.
   double spent() const noexcept { return spent_; }
   std::uint64_t granted() const noexcept { return granted_; }
@@ -50,6 +53,26 @@ class TokenBucket {
   // exceed this, which is the invariant the fleet bench asserts.
   double capacity(double horizon_seconds) const noexcept {
     return burst_ + rate_ * horizon_seconds;
+  }
+
+  // Checkpointable mutable state (configuration — rate/burst — is rebuilt
+  // from config on restore, not serialized).
+  struct State {
+    double tokens;
+    double last;
+    double spent;
+    std::uint64_t granted;
+    std::uint64_t denied;
+  };
+  State save_state() const noexcept {
+    return {tokens_, last_, spent_, granted_, denied_};
+  }
+  void restore_state(const State& s) noexcept {
+    tokens_ = s.tokens;
+    last_ = s.last;
+    spent_ = s.spent;
+    granted_ = s.granted;
+    denied_ = s.denied;
   }
 
  private:
@@ -77,9 +100,21 @@ class AnnouncementBudget {
 
   bool try_announce(double now) { return bucket_.try_spend(now, 1.0); }
 
+  // Fraction of the budget's hard ceiling consumed so far, in [0, 1].
+  // The ceiling is computed over the longer of the caller's nominal horizon
+  // and the time the bucket has actually run: a caller passing a horizon
+  // shorter than elapsed time (e.g. a drain phase running past the trace
+  // horizon) would otherwise divide spend accrued over `last_refill()`
+  // seconds by a smaller capacity and read > 1.0. The final clamp absorbs
+  // only floating-point residue.
   double utilization(double horizon_seconds) const noexcept {
-    const double cap = bucket_.capacity(horizon_seconds);
-    return cap > 0.0 ? bucket_.spent() / cap : 0.0;
+    const double window = horizon_seconds > bucket_.last_refill()
+                              ? horizon_seconds
+                              : bucket_.last_refill();
+    const double cap = bucket_.capacity(window);
+    if (cap <= 0.0) return 0.0;
+    const double u = bucket_.spent() / cap;
+    return u < 1.0 ? u : 1.0;
   }
 
   TokenBucket& bucket() noexcept { return bucket_; }
@@ -100,9 +135,16 @@ class AnnouncementBudget {
 class ProbeAdmission {
  public:
   // `initial_cost_estimate` defaults to the paper's ~280 probes per
-  // isolated outage (§5.4).
+  // isolated outage (§5.4). `cost_floor_fraction` bounds how far the EWMA
+  // may decay below that prior: a run of trivially cheap isolations (e.g.
+  // the first traceroute already fails, costing a handful of probes) must
+  // not drive the estimate toward zero, or admission becomes free and the
+  // next real isolation stampedes the probe budget with no reservation
+  // backing it. The floor is a fraction of the *initial* estimate, so the
+  // paper prior keeps anchoring admission even after heavy adaptation.
   ProbeAdmission(double probe_rate_per_second, double burst,
-                 double initial_cost_estimate = 280.0);
+                 double initial_cost_estimate = 280.0,
+                 double cost_floor_fraction = 0.25);
 
   // Reserve one isolation's estimated probe cost. False = defer.
   bool try_admit(double now);
@@ -110,15 +152,20 @@ class ProbeAdmission {
   void settle(double now, double measured_probes);
 
   double cost_estimate() const noexcept { return estimate_; }
+  double cost_floor() const noexcept { return floor_; }
   std::uint64_t admitted() const noexcept { return bucket_.granted(); }
   std::uint64_t deferred() const noexcept { return bucket_.denied(); }
 
   TokenBucket& bucket() noexcept { return bucket_; }
   const TokenBucket& bucket() const noexcept { return bucket_; }
 
+  double save_estimate() const noexcept { return estimate_; }
+  void restore_estimate(double estimate) noexcept { estimate_ = estimate; }
+
  private:
   TokenBucket bucket_;
   double estimate_;
+  double floor_;
   double ewma_alpha_ = 0.3;
 };
 

@@ -1,0 +1,50 @@
+// Checkpoint serialization for the pieces of a service-plane shard that are
+// not owned by any single subsystem: observability registries (metrics,
+// spans, trace ring), token buckets, and RNG states. The byte-identity
+// contract means a restored shard's *registries* must match the original
+// process exactly — the stdout surface, BENCH_*.json, and span digests are
+// all rendered from them — so these helpers restore saved contents verbatim
+// instead of replaying history.
+//
+// Blob-shape note: every section is magic-tagged so a reader that drifts out
+// of sync fails loudly at the next section boundary instead of misparsing
+// doubles as counts.
+#pragma once
+
+#include "fleet/budget.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace lg::fleet {
+
+// Rng::State round-trip (8+8+1+8 bytes, bit-exact cached normal).
+void save_rng(util::BinWriter& w, const util::Rng::State& s);
+util::Rng::State load_rng(util::BinReader& r);
+
+// TokenBucket mutable state (rate/burst are configuration, rebuilt on
+// restore).
+void save_bucket(util::BinWriter& w, const TokenBucket& b);
+void load_bucket(util::BinReader& r, TokenBucket& b);
+
+// Metrics: every counter/gauge/distribution by name, in name-sorted order.
+// load_metrics resets `reg` first, then find-or-creates each named handle —
+// existing handles held by live instrumented objects stay valid and see the
+// restored values.
+void save_metrics(util::BinWriter& w, const obs::MetricsRegistry& reg);
+void load_metrics(util::BinReader& r, obs::MetricsRegistry& reg);
+
+// Spans: the id-stream position (seed/sequence/epoch/track) plus every
+// record in recording order. load_spans clears `reg` and replays records
+// with their original ids, so SpanIds held by live episode machines keep
+// resolving after a restore.
+void save_spans(util::BinWriter& w, const obs::SpanRegistry& reg);
+void load_spans(util::BinReader& r, obs::SpanRegistry& reg);
+
+// Trace ring: lifetime counters plus held events, oldest first.
+void save_trace(util::BinWriter& w, const obs::TraceRing& ring);
+void load_trace(util::BinReader& r, obs::TraceRing& ring);
+
+}  // namespace lg::fleet

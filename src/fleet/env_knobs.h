@@ -1,0 +1,56 @@
+// Strict parsing for LG_* environment knobs.
+//
+// The fleet's knobs used to be "forgiving": a typo'd LG_FLEET_TARGETS=1O00
+// silently ran the default config, which is the worst possible failure mode
+// for a capacity experiment — the run succeeds and reports numbers for a
+// config the operator did not ask for. These helpers adopt the topology
+// loader's convention instead (src/topology/io.cc): malformed operator input
+// gets a thrown diagnostic naming the source and the offending text, never a
+// silent fallback. Unset knobs still mean "keep the default".
+#pragma once
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace lg::fleet {
+
+// Parse `name` as a double >= `min`. Returns `base` when unset; throws
+// std::invalid_argument (diagnostic style: "<NAME>: expected ..., got '<v>'")
+// on garbage, trailing junk, or a value below `min`.
+inline double env_double_knob(const char* name, double base, double min) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return base;
+  char* end = nullptr;
+  const double n = std::strtod(v, &end);
+  if (end == v || *end != '\0') {
+    throw std::invalid_argument(std::string(name) + ": expected a number, got '" +
+                                v + "'");
+  }
+  if (!(n >= min)) {
+    throw std::invalid_argument(std::string(name) + ": must be >= " +
+                                std::to_string(min) + ", got '" + v + "'");
+  }
+  return n;
+}
+
+// Parse `name` as a positive integer. Returns `base` when unset; throws on
+// garbage, trailing junk, a sign, or zero.
+inline std::size_t env_size_knob(const char* name, std::size_t base) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return base;
+  // strtoull quietly wraps negatives; reject any sign up front.
+  if (*v == '-' || *v == '+') {
+    throw std::invalid_argument(std::string(name) +
+                                ": expected a positive integer, got '" + v + "'");
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || n == 0) {
+    throw std::invalid_argument(std::string(name) +
+                                ": expected a positive integer, got '" + v + "'");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace lg::fleet

@@ -169,10 +169,11 @@ bool EpisodeManager::ping_target(const TargetCtx& t) {
   return once() || once();
 }
 
-double EpisodeManager::holddown_duration(int flap_count) const {
-  const int shift = std::min(flap_count, 10);
-  const double d = cfg_.holddown_seconds * static_cast<double>(1u << shift);
-  return std::min(d, cfg_.holddown_max_seconds);
+double EpisodeManager::holddown_duration(const EpisodeConfig& cfg,
+                                         int flap_count) {
+  const int shift = std::min(std::max(flap_count, 0), 10);
+  const double d = cfg.holddown_seconds * static_cast<double>(1u << shift);
+  return std::min(d, cfg.holddown_max_seconds);
 }
 
 void EpisodeManager::atlas_round() {
@@ -642,7 +643,7 @@ void EpisodeManager::close_episode(TargetCtx& t, EpisodeRecord& rec,
 }
 
 void EpisodeManager::enter_holddown(TargetCtx& t, double now) {
-  t.holddown_until = now + holddown_duration(t.flap_count);
+  t.holddown_until = now + holddown_duration(cfg_, t.flap_count);
   set_state(t, EpisodeState::kHolddown);
 }
 

@@ -176,6 +176,13 @@ class EpisodeManager {
     helpers_ = std::move(helpers);
   }
 
+  // Exponential-backoff holddown after a closed episode: base doubles per
+  // flap (shift clamped at 10 so the multiplier cannot overflow), saturating
+  // at holddown_max_seconds. Static so the service plane's per-prefix
+  // machines apply the exact same escalation policy without an
+  // EpisodeManager instance.
+  static double holddown_duration(const EpisodeConfig& cfg, int flap_count);
+
  private:
   struct TargetCtx {
     MonitoredTarget info;
@@ -215,7 +222,6 @@ class EpisodeManager {
                      double now, EpisodeState next_state);
   void enter_holddown(TargetCtx& t, double now);
   void set_state(TargetCtx& t, EpisodeState state);
-  double holddown_duration(int flap_count) const;
   // Re-announce the production prefix with the current poison union.
   void announce_union();
   bool ping_target(const TargetCtx& t);

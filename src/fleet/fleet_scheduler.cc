@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "fleet/env_knobs.h"
 #include "run/trial_runner.h"
 #include "util/rng.h"
 #include "workload/outages.h"
@@ -23,26 +24,13 @@ void append_num(std::ostringstream& os, double v) {
 }  // namespace
 
 FleetConfig FleetConfig::from_env(FleetConfig base) {
-  if (const char* v = std::getenv("LG_FLEET_TARGETS")) {
-    char* end = nullptr;
-    const unsigned long long n = std::strtoull(v, &end, 10);
-    if (end != v && n > 0) base.targets = static_cast<std::size_t>(n);
-  }
-  if (const char* v = std::getenv("LG_FLEET_ANNOUNCE_BUDGET")) {
-    char* end = nullptr;
-    const double n = std::strtod(v, &end);
-    if (end != v && n >= 0.0) base.announce_per_hour = n;
-  }
-  if (const char* v = std::getenv("LG_FLEET_PROBE_BUDGET")) {
-    char* end = nullptr;
-    const double n = std::strtod(v, &end);
-    if (end != v && n >= 0.0) base.probe_rate_per_second = n;
-  }
-  if (const char* v = std::getenv("LG_FLEET_STALL_SECONDS")) {
-    char* end = nullptr;
-    const double n = std::strtod(v, &end);
-    if (end != v && n >= 0.0) base.episode.stall_threshold_seconds = n;
-  }
+  base.targets = env_size_knob("LG_FLEET_TARGETS", base.targets);
+  base.announce_per_hour =
+      env_double_knob("LG_FLEET_ANNOUNCE_BUDGET", base.announce_per_hour, 0.0);
+  base.probe_rate_per_second =
+      env_double_knob("LG_FLEET_PROBE_BUDGET", base.probe_rate_per_second, 0.0);
+  base.episode.stall_threshold_seconds = env_double_knob(
+      "LG_FLEET_STALL_SECONDS", base.episode.stall_threshold_seconds, 0.0);
   return base;
 }
 

@@ -60,8 +60,9 @@ struct FleetConfig {
   // Apply LG_FLEET_TARGETS / LG_FLEET_ANNOUNCE_BUDGET (announcements per
   // hour) / LG_FLEET_PROBE_BUDGET (probes per second per shard) /
   // LG_FLEET_STALL_SECONDS (stall watchdog threshold, 0 disables) on top of
-  // `base`. Unparsable values keep the base (forgiving, like every other
-  // LG_* knob).
+  // `base`. Malformed or out-of-range values throw std::invalid_argument
+  // with a diagnostic naming the knob (see fleet/env_knobs.h) — a capacity
+  // run must not silently proceed with a config the operator did not set.
   static FleetConfig from_env(FleetConfig base);
   static FleetConfig from_env() { return from_env(FleetConfig{}); }
 };

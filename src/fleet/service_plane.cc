@@ -1,0 +1,1129 @@
+#include "fleet/service_plane.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "bgp/types.h"
+#include "core/remediation.h"
+#include "fleet/checkpoint.h"
+#include "fleet/env_knobs.h"
+#include "obs/trace.h"
+#include "run/trial_runner.h"
+#include "util/codec.h"
+#include "util/rng.h"
+#include "workload/outage_stream.h"
+#include "workload/sim_world.h"
+
+namespace lg::fleet {
+
+namespace {
+
+constexpr std::uint32_t kShardTag = 0x53435653;  // "SVCS"
+constexpr std::uint32_t kPlaneTag = 0x4c505653;  // "SVPL"
+constexpr std::uint32_t kFileTag = 0x46435653;   // "SVCF"
+constexpr std::uint32_t kVersion = 1;
+
+constexpr std::uint8_t kNoSlot = 0xff;
+constexpr std::uint32_t kFreeSlot = 0xffffffffu;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_f64(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv_mix(h, bits);
+}
+
+// One formatted double for the fingerprint: fixed precision, no locale.
+void append_num(std::ostringstream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  os << buf;
+}
+
+// Per-monitored-client detection state. Isolation runs once per client per
+// incident and its verdict is shared by every serviced prefix mapped here.
+struct ClientState {
+  MonitoredTarget info;
+  // AS-level baseline path from the origin, captured once at setup; blame is
+  // the first baseline AS missing from the current responsive path.
+  std::vector<AsId> baseline;
+  std::uint16_t fails = 0;
+  bool down = false;
+  bool isolated = false;
+  AsId blamed = topo::kInvalidAs;
+};
+
+// Per-serviced-prefix episode machine: a few dozen POD bytes, so a 100k
+// universe costs megabytes, not RIBs.
+struct PrefixState {
+  EpisodeState state = EpisodeState::kMonitor;
+  std::uint8_t slot = kNoSlot;
+  std::uint16_t flap_count = 0;
+  std::uint16_t verify_fails = 0;
+  std::uint16_t probe_deferrals = 0;
+  std::uint16_t budget_deferrals = 0;
+  double opened_at = -1.0;
+  double remediated_at = -1.0;
+  double holddown_until = -1.0;
+  double last_closed_at = -1e18;
+  obs::SpanId span = 0;
+};
+
+struct ActiveFailure {
+  dp::FailureId id = 0;
+  double until = 0.0;
+};
+
+workload::OutageStreamConfig stream_config(const ServiceConfig& cfg,
+                                           std::uint64_t seed) {
+  workload::OutageStreamConfig sc;
+  sc.rate_per_hour = cfg.outages_per_hour / static_cast<double>(cfg.shards);
+  sc.duration_cap_seconds = cfg.outage_duration_cap_seconds;
+  sc.seed = seed ^ 0x6f757467ULL;
+  return sc;
+}
+
+class ServicePlane {
+ public:
+  ServicePlane(workload::SimWorld& world, const ServiceConfig& cfg,
+               std::size_t shard, std::uint64_t seed, AsId origin,
+               AnnouncementBudget& announce, ProbeAdmission& admission)
+      : world_(&world),
+        cfg_(&cfg),
+        shard_(shard),
+        origin_(origin),
+        announce_(&announce),
+        admission_(&admission),
+        rng_(seed ^ 0x73766370ULL, 0x6469726eULL),
+        stream_(stream_config(cfg, seed)),
+        production_(topo::AddressPlan::production_prefix(origin)),
+        slots_(std::min<std::size_t>(cfg.slots, 15)),
+        slot_owner_(slots_, kFreeSlot),
+        spans_(&obs::SpanRegistry::current()),
+        trace_(&obs::TraceRing::current()) {
+    auto& metrics = obs::MetricsRegistry::current();
+    c_opened_ = &metrics.counter("lg.service.episodes_opened");
+    c_closed_ = &metrics.counter("lg.service.episodes_closed");
+    c_remediated_ = &metrics.counter("lg.service.remediated");
+    c_resolved_self_ = &metrics.counter("lg.service.resolved_self");
+    c_announce_deferred_ = &metrics.counter("lg.service.announce_deferrals");
+    c_probe_deferred_ = &metrics.counter("lg.service.probe_deferrals");
+    g_open_ = &metrics.gauge("lg.service.open_episodes");
+    d_ttr_ = &metrics.distribution("lg.service.time_to_remediate");
+    providers_ = world_->graph().providers(origin_);
+    std::sort(providers_.begin(), providers_.end());
+  }
+
+  // Fresh-run setup: baseline announcements, client enumeration, baseline
+  // path capture, universe construction. A restored run skips this — load()
+  // reinstates the same state from the blob instead.
+  void setup() {
+    core::Remediator rem(world_->engine(), origin_, cfg_->episode.remediation);
+    rem.announce_baseline();
+    world_->converge();
+    TargetTable ctable(cfg_->clients, cfg_->shards);
+    const auto targets = TargetTable::enumerate(
+        *world_, origin_, ctable.shard_quota(shard_));
+    clients_.reserve(targets.size());
+    const Ipv4 reply = topo::AddressPlan::production_host(origin_);
+    for (const auto& t : targets) {
+      ClientState cl;
+      cl.info = t;
+      cl.baseline =
+          world_->prober().traceroute(origin_, t.addr, reply).responsive_as_path();
+      clients_.push_back(std::move(cl));
+    }
+    build_universe();
+    culprits_ = world_->feed_ases(20);
+  }
+
+  void tick(double now) {
+    ++ticks_;
+    expire_failures(now);
+    inject_due(now);
+    ping_clients();
+    for (std::size_t i = 0; i < universe_.size(); ++i) step(i, now);
+    g_open_->set(static_cast<double>(open_));
+  }
+
+  std::uint64_t ticks() const noexcept { return ticks_; }
+  bool drained() const noexcept { return open_ == 0 && active_.empty(); }
+
+  void fill_report(ServiceShardReport& report, double now) const {
+    report.origin = origin_;
+    report.clients = clients_.size();
+    report.prefixes = universe_.size();
+    report.ticks = ticks_;
+    report.outages_injected = outages_injected_;
+    report.episodes_opened = opened_;
+    report.episodes_closed = closed_;
+    report.outcomes = outcomes_;
+    report.fingerprint = fnv_;
+    report.slot_leases = slot_leases_;
+    report.slot_waits = slot_waits_;
+    report.open_at_end = open_;
+    report.announce_spent = announce_->bucket().spent();
+    report.announce_capacity = announce_->bucket().capacity(now);
+    report.announce_utilization = announce_->utilization(now);
+    report.announce_granted = announce_->bucket().granted();
+    report.announce_denied = announce_->bucket().denied();
+    report.probe_admitted = admission_->admitted();
+    report.probe_deferred = admission_->deferred();
+    report.records = ring_contents();
+    report.remediate_latencies = latency_contents();
+  }
+
+  // ---- checkpoint ----
+
+  void save(util::BinWriter& w) const {
+    w.magic(kPlaneTag, kVersion);
+    w.u64(static_cast<std::uint64_t>(shard_));
+    w.u32(origin_);
+    w.u64(ticks_);
+    w.u64(outages_injected_);
+    save_rng(w, rng_.save_state());
+    stream_.save(w);
+    w.vec(clients_, [&](const ClientState& cl) {
+      w.u32(cl.info.addr);
+      w.u32(cl.info.as);
+      w.f64(cl.info.weight);
+      w.vec(cl.baseline, [&](AsId as) { w.u32(as); });
+      w.u32(cl.fails);
+      w.b(cl.down);
+      w.b(cl.isolated);
+      w.u32(cl.blamed);
+    });
+    w.vec(states_, [&](const PrefixState& st) {
+      w.u8(static_cast<std::uint8_t>(st.state));
+      w.u8(st.slot);
+      w.u32(st.flap_count);
+      w.u32(st.verify_fails);
+      w.u32(st.probe_deferrals);
+      w.u32(st.budget_deferrals);
+      w.f64(st.opened_at);
+      w.f64(st.remediated_at);
+      w.f64(st.holddown_until);
+      w.f64(st.last_closed_at);
+      w.u64(st.span);
+    });
+    w.vec(slot_owner_, [&](std::uint32_t owner) { w.u32(owner); });
+    w.vec(active_, [&](const ActiveFailure& a) {
+      w.u64(a.id);
+      w.f64(a.until);
+    });
+    w.u64(static_cast<std::uint64_t>(open_));
+    w.u64(opened_);
+    w.u64(closed_);
+    for (const std::uint64_t o : outcomes_) w.u64(o);
+    w.u64(fnv_);
+    w.u64(slot_leases_);
+    w.u64(slot_waits_);
+    w.u64(total_records_);
+    w.vec(ring_contents(), [&](const ServiceEpisodeRecord& rec) {
+      w.u32(rec.key);
+      w.u32(rec.client);
+      w.u32(rec.client_as);
+      w.u32(rec.blamed);
+      w.f64(rec.opened_at);
+      w.f64(rec.remediated_at);
+      w.f64(rec.closed_at);
+      w.u8(static_cast<std::uint8_t>(rec.outcome));
+      w.i64(rec.slot);
+      w.u32(rec.flap_generation);
+      w.u32(rec.probe_deferrals);
+      w.u32(rec.budget_deferrals);
+    });
+    w.u64(total_latencies_);
+    w.vec(latency_contents(), [&](double v) { w.f64(v); });
+  }
+
+  void load(util::BinReader& r) {
+    r.magic(kPlaneTag, kVersion);
+    const std::uint64_t shard = r.u64();
+    if (shard != shard_) {
+      throw std::runtime_error("service checkpoint: blob is for shard " +
+                               std::to_string(shard) + ", restoring shard " +
+                               std::to_string(shard_));
+    }
+    const AsId origin = r.u32();
+    if (origin != origin_) {
+      throw std::runtime_error(
+          "service checkpoint: origin mismatch (different topology/config?)");
+    }
+    ticks_ = r.u64();
+    outages_injected_ = r.u64();
+    rng_.restore_state(load_rng(r));
+    stream_.load(r);
+    clients_ = r.vec<ClientState>([&] {
+      ClientState cl;
+      cl.info.addr = r.u32();
+      cl.info.as = r.u32();
+      cl.info.weight = r.f64();
+      cl.baseline = r.vec<AsId>([&] { return static_cast<AsId>(r.u32()); });
+      cl.fails = static_cast<std::uint16_t>(r.u32());
+      cl.down = r.b();
+      cl.isolated = r.b();
+      cl.blamed = r.u32();
+      return cl;
+    });
+    build_universe();
+    states_ = r.vec<PrefixState>([&] {
+      PrefixState st;
+      st.state = static_cast<EpisodeState>(r.u8());
+      st.slot = r.u8();
+      st.flap_count = static_cast<std::uint16_t>(r.u32());
+      st.verify_fails = static_cast<std::uint16_t>(r.u32());
+      st.probe_deferrals = static_cast<std::uint16_t>(r.u32());
+      st.budget_deferrals = static_cast<std::uint16_t>(r.u32());
+      st.opened_at = r.f64();
+      st.remediated_at = r.f64();
+      st.holddown_until = r.f64();
+      st.last_closed_at = r.f64();
+      st.span = r.u64();
+      return st;
+    });
+    if (states_.size() != universe_.size()) {
+      throw std::runtime_error(
+          "service checkpoint: universe size mismatch (different config?)");
+    }
+    slot_owner_ = r.vec<std::uint32_t>([&] { return r.u32(); });
+    if (slot_owner_.size() != slots_) {
+      throw std::runtime_error(
+          "service checkpoint: slot count mismatch (different config?)");
+    }
+    active_ = r.vec<ActiveFailure>([&] {
+      ActiveFailure a;
+      a.id = r.u64();
+      a.until = r.f64();
+      return a;
+    });
+    open_ = static_cast<std::size_t>(r.u64());
+    opened_ = r.u64();
+    closed_ = r.u64();
+    for (std::uint64_t& o : outcomes_) o = r.u64();
+    fnv_ = r.u64();
+    slot_leases_ = r.u64();
+    slot_waits_ = r.u64();
+    total_records_ = r.u64();
+    auto held = r.vec<ServiceEpisodeRecord>([&] {
+      ServiceEpisodeRecord rec;
+      rec.key = r.u32();
+      rec.client = r.u32();
+      rec.client_as = r.u32();
+      rec.blamed = r.u32();
+      rec.opened_at = r.f64();
+      rec.remediated_at = r.f64();
+      rec.closed_at = r.f64();
+      rec.outcome = static_cast<EpisodeOutcome>(r.u8());
+      rec.slot = static_cast<std::int16_t>(r.i64());
+      rec.flap_generation = static_cast<std::uint16_t>(r.u32());
+      rec.probe_deferrals = static_cast<std::uint16_t>(r.u32());
+      rec.budget_deferrals = static_cast<std::uint16_t>(r.u32());
+      return rec;
+    });
+    // Reinstate the ring with the held records in oldest-first order; the
+    // next insert lands exactly where the original process would have put it.
+    if (cfg_->record_ring > 0) {
+      records_.assign(cfg_->record_ring, ServiceEpisodeRecord{});
+      const std::size_t heldn = held.size();
+      for (std::size_t i = 0; i < heldn; ++i) {
+        records_[(total_records_ - heldn + i) % cfg_->record_ring] = held[i];
+      }
+    } else {
+      records_.clear();
+    }
+    total_latencies_ = r.u64();
+    auto lat = r.vec<double>([&] { return r.f64(); });
+    if (cfg_->latency_ring > 0) {
+      latencies_.assign(cfg_->latency_ring, 0.0);
+      const std::size_t heldn = lat.size();
+      for (std::size_t i = 0; i < heldn; ++i) {
+        latencies_[(total_latencies_ - heldn + i) % cfg_->latency_ring] =
+            lat[i];
+      }
+    } else {
+      latencies_.clear();
+    }
+    culprits_ = world_->feed_ases(20);
+  }
+
+ private:
+  void build_universe() {
+    TargetTable ptable(cfg_->prefixes, cfg_->shards);
+    universe_ = ptable.shard_universe(shard_, clients_.size());
+    states_.assign(universe_.size(), PrefixState{});
+  }
+
+  // Physical slots 1..15 of the production /24; slot 0 would contain the
+  // production host address, whose routing must stay on the baseline.
+  topo::Prefix slot_prefix(std::uint8_t slot) const {
+    return topo::Prefix(
+        production_.addr() + (static_cast<Ipv4>(slot) + 1) * 16u, 28);
+  }
+  Ipv4 slot_probe_addr(std::uint8_t slot) const {
+    return production_.addr() + (static_cast<Ipv4>(slot) + 1) * 16u + 1u;
+  }
+
+  void expire_failures(double now) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].until <= now) {
+        world_->failures().clear(active_[i].id);
+      } else {
+        active_[kept++] = active_[i];
+      }
+    }
+    active_.resize(kept);
+  }
+
+  void inject_due(double now) {
+    if (clients_.empty()) return;
+    const double offset = cfg_->warmup_seconds;
+    while (true) {
+      const double at = offset + stream_.next_start();
+      if (!(at <= now) || at > cfg_->horizon_seconds) break;
+      const auto ev = stream_.next();
+      dp::Failure f;
+      if (!culprits_.empty()) {
+        f.at_as = culprits_[rng_.uniform_u32(
+            static_cast<std::uint32_t>(culprits_.size()))];
+      }
+      if (rng_.bernoulli(cfg_->reverse_fraction)) {
+        f.toward_as = origin_;
+      } else {
+        f.toward_as =
+            clients_[rng_.uniform_u32(
+                         static_cast<std::uint32_t>(clients_.size()))]
+                .info.as;
+      }
+      const auto id = world_->failures().inject(f);
+      active_.push_back(ActiveFailure{id, at + ev.duration_seconds});
+      ++outages_injected_;
+    }
+  }
+
+  bool ping_client(const ClientState& cl, Ipv4 reply_to) {
+    // The paper sends ping pairs; one success counts.
+    auto once = [&] {
+      return world_->prober().ping(origin_, cl.info.addr, reply_to).replied;
+    };
+    return once() || once();
+  }
+
+  void ping_clients() {
+    const Ipv4 reply = topo::AddressPlan::production_host(origin_);
+    for (ClientState& cl : clients_) {
+      if (ping_client(cl, reply)) {
+        cl.fails = 0;
+        cl.down = false;
+        cl.isolated = false;
+        cl.blamed = topo::kInvalidAs;
+      } else {
+        if (cl.fails < 0xffff) ++cl.fails;
+        cl.down = cl.fails >= cfg_->episode.fail_threshold;
+      }
+    }
+  }
+
+  // One shared isolation per client incident: traceroute toward the client
+  // and blame the first baseline AS missing from the current responsive
+  // path — a unidirectional failure truncates the responsive path at the
+  // culprit's predecessor in either direction.
+  bool try_isolate(ClientState& cl, double now) {
+    if (!admission_->try_admit(now)) {
+      c_probe_deferred_->inc();
+      trace_->record(now, obs::TraceKind::kAdmissionDeferred, cl.info.addr);
+      return false;
+    }
+    auto& budget = world_->prober().budget();
+    const std::uint64_t before = budget.total();
+    const auto tr = world_->prober().traceroute(
+        origin_, cl.info.addr, topo::AddressPlan::production_host(origin_));
+    admission_->settle(now,
+                       static_cast<double>(budget.total() - before));
+    const auto cur = tr.responsive_as_path();
+    cl.blamed = topo::kInvalidAs;
+    for (const AsId as : cl.baseline) {
+      if (as == origin_ || as == cl.info.as) continue;
+      if (std::find(cur.begin(), cur.end(), as) == cur.end()) {
+        cl.blamed = as;
+        break;
+      }
+    }
+    cl.isolated = true;
+    return true;
+  }
+
+  // Selective announcement of a leased slot /28 (§3.1.2 / Fig. 3). The
+  // production /24 stays on the baseline and covers the slot — the
+  // per-prefix sentinel. When the blamed AS is one of the origin's own
+  // providers, the slot is simply withheld from it; otherwise the blamed AS
+  // is poisoned into the slot's path for every provider.
+  void announce_slot(std::uint8_t slot, AsId blamed) {
+    const std::size_t len =
+        std::max<std::size_t>(cfg_->episode.remediation.baseline_prepend, 3);
+    bgp::OriginPolicy pol;
+    if (std::binary_search(providers_.begin(), providers_.end(), blamed)) {
+      pol.default_path = bgp::PathRef(bgp::baseline_path(origin_, len));
+      pol.per_neighbor[blamed] = std::nullopt;
+    } else {
+      pol.default_path =
+          bgp::PathRef(bgp::poisoned_path(origin_, {blamed}, len));
+    }
+    world_->engine().originate(origin_, slot_prefix(slot), std::move(pol));
+  }
+
+  std::uint8_t find_free_slot() const {
+    for (std::size_t s = 0; s < slot_owner_.size(); ++s) {
+      if (slot_owner_[s] == kFreeSlot) return static_cast<std::uint8_t>(s);
+    }
+    return kNoSlot;
+  }
+
+  void open_episode(std::size_t i, double now) {
+    PrefixState& st = states_[i];
+    st.flap_count =
+        (now - st.last_closed_at <= cfg_->episode.flap_window_seconds)
+            ? static_cast<std::uint16_t>(st.flap_count + 1)
+            : 0;
+    st.state = EpisodeState::kIsolate;
+    st.slot = kNoSlot;
+    st.verify_fails = 0;
+    st.probe_deferrals = 0;
+    st.budget_deferrals = 0;
+    st.opened_at = now;
+    st.remediated_at = -1.0;
+    const ClientState& cl = clients_[universe_[i].client];
+    st.span = spans_->begin(now, "service.episode", 0, cl.info.addr,
+                            universe_[i].key);
+    trace_->record(now, obs::TraceKind::kEpisodeOpened, cl.info.addr,
+                   universe_[i].key);
+    ++opened_;
+    ++open_;
+    c_opened_->inc();
+  }
+
+  void close_episode(std::size_t i, double now, EpisodeOutcome outcome) {
+    PrefixState& st = states_[i];
+    const ClientState& cl = clients_[universe_[i].client];
+    if (st.slot != kNoSlot) {
+      // Reverting is free by convention: the budget bounds poison churn,
+      // never the restoration of the baseline.
+      world_->engine().withdraw(origin_, slot_prefix(st.slot));
+      slot_owner_[st.slot] = kFreeSlot;
+    }
+    ServiceEpisodeRecord rec;
+    rec.key = universe_[i].key;
+    rec.client = cl.info.addr;
+    rec.client_as = cl.info.as;
+    rec.blamed = outcome == EpisodeOutcome::kNoBlame ? topo::kInvalidAs
+                                                     : cl.blamed;
+    rec.opened_at = st.opened_at;
+    rec.remediated_at = st.remediated_at;
+    rec.closed_at = now;
+    rec.outcome = outcome;
+    rec.slot = st.slot == kNoSlot ? -1 : static_cast<std::int16_t>(st.slot);
+    rec.flap_generation = st.flap_count;
+    rec.probe_deferrals = st.probe_deferrals;
+    rec.budget_deferrals = st.budget_deferrals;
+    push_record(rec);
+    if (st.remediated_at >= 0.0 &&
+        outcome == EpisodeOutcome::kRemediated) {
+      const double ttr = st.remediated_at - st.opened_at;
+      d_ttr_->observe(ttr);
+      push_latency(ttr);
+      c_remediated_->inc();
+    }
+    if (outcome == EpisodeOutcome::kResolvedSelf) c_resolved_self_->inc();
+    outcomes_[static_cast<std::size_t>(outcome)] += 1;
+    ++closed_;
+    c_closed_->inc();
+    trace_->record(now, obs::TraceKind::kEpisodeClosed, cl.info.addr,
+                   universe_[i].key, static_cast<double>(outcome));
+    if (st.span != 0) {
+      spans_->annotate(st.span, "outcome",
+                       static_cast<double>(static_cast<int>(outcome)));
+      spans_->end(st.span, now);
+    }
+    st.span = 0;
+    st.slot = kNoSlot;
+    st.last_closed_at = now;
+    st.holddown_until =
+        now + EpisodeManager::holddown_duration(cfg_->episode, st.flap_count);
+    st.state = EpisodeState::kHolddown;
+    --open_;
+  }
+
+  void step(std::size_t i, double now) {
+    PrefixState& st = states_[i];
+    ClientState& cl = clients_[universe_[i].client];
+    switch (st.state) {
+      case EpisodeState::kMonitor:
+        if (cl.down) open_episode(i, now);
+        break;
+      case EpisodeState::kHolddown:
+        if (now >= st.holddown_until) {
+          st.state = EpisodeState::kMonitor;
+          if (cl.down) open_episode(i, now);
+        }
+        break;
+      case EpisodeState::kSuspect:  // unused by the plane; fall through
+      case EpisodeState::kIsolate:
+        if (!cl.down) {
+          close_episode(i, now, EpisodeOutcome::kResolvedSelf);
+          break;
+        }
+        if (!cl.isolated) {
+          if (!try_isolate(cl, now)) {
+            if (st.probe_deferrals < 0xffff) ++st.probe_deferrals;
+            break;
+          }
+        }
+        if (cl.blamed == topo::kInvalidAs) {
+          close_episode(i, now, EpisodeOutcome::kNoBlame);
+        } else {
+          st.state = EpisodeState::kRemediate;
+        }
+        break;
+      case EpisodeState::kRemediate: {
+        if (!cl.down) {
+          close_episode(i, now, EpisodeOutcome::kResolvedSelf);
+          break;
+        }
+        const std::uint8_t slot = find_free_slot();
+        if (slot == kNoSlot) {
+          if (st.budget_deferrals < 0xffff) ++st.budget_deferrals;
+          ++slot_waits_;
+          break;
+        }
+        if (!announce_->try_announce(now)) {
+          if (st.budget_deferrals < 0xffff) ++st.budget_deferrals;
+          c_announce_deferred_->inc();
+          trace_->record(now, obs::TraceKind::kAnnounceDeferred, cl.info.addr,
+                         universe_[i].key);
+          break;
+        }
+        slot_owner_[slot] = static_cast<std::uint32_t>(i);
+        st.slot = slot;
+        announce_slot(slot, cl.blamed);
+        st.remediated_at = now;
+        st.verify_fails = 0;
+        st.state = EpisodeState::kVerify;
+        ++slot_leases_;
+        trace_->record(now, obs::TraceKind::kSelectivePoisonApplied,
+                       cl.info.addr, cl.blamed);
+        break;
+      }
+      case EpisodeState::kVerify:
+        if (!cl.down) {
+          // The original path healed — the §4.2 sentinel observation. The
+          // episode was remediated and the repair is confirmed: revert.
+          close_episode(i, now, EpisodeOutcome::kRemediated);
+          break;
+        }
+        if (now - st.remediated_at > cfg_->episode.max_verify_seconds) {
+          close_episode(i, now, EpisodeOutcome::kVerifyTimeout);
+          break;
+        }
+        if (ping_client(cl, slot_probe_addr(st.slot))) {
+          st.verify_fails = 0;
+        } else if (++st.verify_fails >=
+                   cfg_->episode.verify_fail_threshold) {
+          // The remediated path never carried traffic: the blame was wrong
+          // or the slot announcement cannot steer around it.
+          close_episode(i, now, EpisodeOutcome::kVerifyTimeout);
+        }
+        break;
+    }
+  }
+
+  std::vector<ServiceEpisodeRecord> ring_contents() const {
+    std::vector<ServiceEpisodeRecord> out;
+    if (cfg_->record_ring == 0 || total_records_ == 0) return out;
+    const std::size_t held =
+        std::min<std::size_t>(total_records_, cfg_->record_ring);
+    out.reserve(held);
+    for (std::size_t i = 0; i < held; ++i) {
+      out.push_back(records_[(total_records_ - held + i) % cfg_->record_ring]);
+    }
+    return out;
+  }
+
+  std::vector<double> latency_contents() const {
+    std::vector<double> out;
+    if (cfg_->latency_ring == 0 || total_latencies_ == 0) return out;
+    const std::size_t held =
+        std::min<std::size_t>(total_latencies_, cfg_->latency_ring);
+    out.reserve(held);
+    for (std::size_t i = 0; i < held; ++i) {
+      out.push_back(
+          latencies_[(total_latencies_ - held + i) % cfg_->latency_ring]);
+    }
+    return out;
+  }
+
+  void push_record(const ServiceEpisodeRecord& rec) {
+    fnv_mix(fnv_, rec.key);
+    fnv_mix(fnv_, rec.client);
+    fnv_mix(fnv_, rec.blamed);
+    fnv_mix(fnv_, static_cast<std::uint64_t>(rec.outcome));
+    fnv_mix(fnv_, rec.flap_generation);
+    fnv_mix_f64(fnv_, rec.opened_at);
+    fnv_mix_f64(fnv_, rec.remediated_at);
+    fnv_mix_f64(fnv_, rec.closed_at);
+    if (cfg_->record_ring == 0) {
+      ++total_records_;
+      return;
+    }
+    if (records_.size() < cfg_->record_ring) {
+      records_.resize(cfg_->record_ring);
+    }
+    records_[total_records_ % cfg_->record_ring] = rec;
+    ++total_records_;
+  }
+
+  void push_latency(double v) {
+    if (cfg_->latency_ring == 0) {
+      ++total_latencies_;
+      return;
+    }
+    if (latencies_.size() < cfg_->latency_ring) {
+      latencies_.resize(cfg_->latency_ring);
+    }
+    latencies_[total_latencies_ % cfg_->latency_ring] = v;
+    ++total_latencies_;
+  }
+
+  workload::SimWorld* world_;
+  const ServiceConfig* cfg_;
+  std::size_t shard_;
+  AsId origin_;
+  AnnouncementBudget* announce_;
+  ProbeAdmission* admission_;
+  util::Rng rng_;
+  workload::OutageStream stream_;
+  topo::Prefix production_;
+  std::size_t slots_;
+  std::vector<std::uint32_t> slot_owner_;  // prefix index or kFreeSlot
+  std::vector<AsId> providers_;
+  std::vector<AsId> culprits_;
+  std::vector<ClientState> clients_;
+  std::vector<ServicedPrefix> universe_;
+  std::vector<PrefixState> states_;
+  std::vector<ActiveFailure> active_;
+
+  std::uint64_t ticks_ = 0;
+  std::uint64_t outages_injected_ = 0;
+  std::size_t open_ = 0;
+  std::uint64_t opened_ = 0;
+  std::uint64_t closed_ = 0;
+  std::array<std::uint64_t, 6> outcomes_{};
+  std::uint64_t fnv_ = kFnvOffset;
+  std::uint64_t slot_leases_ = 0;
+  std::uint64_t slot_waits_ = 0;
+  std::vector<ServiceEpisodeRecord> records_;
+  std::uint64_t total_records_ = 0;
+  std::vector<double> latencies_;
+  std::uint64_t total_latencies_ = 0;
+
+  obs::SpanRegistry* spans_;
+  obs::TraceRing* trace_;
+  obs::Counter* c_opened_;
+  obs::Counter* c_closed_;
+  obs::Counter* c_remediated_;
+  obs::Counter* c_resolved_self_;
+  obs::Counter* c_announce_deferred_;
+  obs::Counter* c_probe_deferred_;
+  obs::Gauge* g_open_;
+  obs::Distribution* d_ttr_;
+};
+
+void save_failure(util::BinWriter& w, const dp::Failure& f) {
+  w.opt(f.at_as, [&](AsId as) { w.u32(as); });
+  w.opt(f.at_link, [&](const topo::AsLinkKey& k) {
+    w.u32(k.a);
+    w.u32(k.b);
+  });
+  w.opt(f.direction_from, [&](AsId as) { w.u32(as); });
+  w.opt(f.toward_as, [&](AsId as) { w.u32(as); });
+}
+
+dp::Failure load_failure(util::BinReader& r) {
+  dp::Failure f;
+  f.at_as = r.opt<AsId>([&] { return static_cast<AsId>(r.u32()); });
+  f.at_link = r.opt<topo::AsLinkKey>([&] {
+    const AsId a = r.u32();
+    const AsId b = r.u32();
+    return topo::AsLinkKey(a, b);
+  });
+  f.direction_from = r.opt<AsId>([&] { return static_cast<AsId>(r.u32()); });
+  f.toward_as = r.opt<AsId>([&] { return static_cast<AsId>(r.u32()); });
+  return f;
+}
+
+// Serialize one shard's full state. Ordering contract with restore_shard:
+// sections are applied in save order, with the observability registries
+// LAST so nothing the restore path itself does leaks into the restored
+// metric values.
+std::string save_checkpoint(std::size_t shard, std::uint64_t seed,
+                            workload::SimWorld& world,
+                            const ServicePlane& plane,
+                            const AnnouncementBudget& announce,
+                            const ProbeAdmission& admission) {
+  util::BinWriter w;
+  w.magic(kShardTag, kVersion);
+  w.u64(static_cast<std::uint64_t>(shard));
+  w.u64(seed);
+  const util::Scheduler::State ss = world.scheduler().save_state();
+  w.f64(ss.now);
+  w.u64(ss.executed);
+  w.u64(ss.cancelled);
+  w.u64(ss.compactions);
+  w.u64(static_cast<std::uint64_t>(ss.max_pending));
+  world.engine().save_snapshot(w);
+  plane.save(w);
+  w.u64(world.failures().next_id());
+  w.vec(world.failures().active(),
+        [&](const std::pair<dp::FailureId, dp::Failure>& e) {
+          w.u64(e.first);
+          save_failure(w, e.second);
+        });
+  save_bucket(w, announce.bucket());
+  save_bucket(w, admission.bucket());
+  w.f64(admission.save_estimate());
+  const measure::ProbeBudget& pb = world.prober().budget();
+  w.u64(pb.pings);
+  w.u64(pb.traceroute_probes);
+  w.u64(pb.spoofed_pings);
+  w.u64(pb.spoofed_traceroute_probes);
+  w.u64(pb.option_probes);
+  save_rng(w, world.responsiveness().rng_state());
+  save_metrics(w, obs::MetricsRegistry::current());
+  save_spans(w, obs::SpanRegistry::current());
+  save_trace(w, obs::TraceRing::current());
+  return w.take();
+}
+
+void restore_shard(util::BinReader& r, std::size_t shard, std::uint64_t seed,
+                   workload::SimWorld& world, ServicePlane& plane,
+                   AnnouncementBudget& announce, ProbeAdmission& admission) {
+  r.magic(kShardTag, kVersion);
+  const std::uint64_t blob_shard = r.u64();
+  const std::uint64_t blob_seed = r.u64();
+  if (blob_shard != shard || blob_seed != seed) {
+    throw std::runtime_error(
+        "service checkpoint: shard/seed mismatch (wrong blob for this "
+        "shard?)");
+  }
+  util::Scheduler::State ss;
+  ss.now = r.f64();
+  ss.executed = r.u64();
+  ss.cancelled = r.u64();
+  ss.compactions = r.u64();
+  ss.max_pending = static_cast<std::size_t>(r.u64());
+  world.scheduler().restore_state(ss);
+  world.engine().load_snapshot(r);
+  plane.load(r);
+  const dp::FailureId next_id = r.u64();
+  auto active = r.vec<std::pair<dp::FailureId, dp::Failure>>([&] {
+    const dp::FailureId id = r.u64();
+    return std::make_pair(id, load_failure(r));
+  });
+  world.failures().restore(std::move(active), next_id);
+  load_bucket(r, announce.bucket());
+  load_bucket(r, admission.bucket());
+  admission.restore_estimate(r.f64());
+  measure::ProbeBudget& pb = world.prober().budget();
+  pb.pings = r.u64();
+  pb.traceroute_probes = r.u64();
+  pb.spoofed_pings = r.u64();
+  pb.spoofed_traceroute_probes = r.u64();
+  pb.option_probes = r.u64();
+  world.responsiveness().restore_rng(load_rng(r));
+  // Registries last: everything the restore path itself touched (converge
+  // spans, scheduler metrics, setup probes) is overwritten by the
+  // checkpointed truth, which already accounts for the original setup.
+  load_metrics(r, obs::MetricsRegistry::current());
+  load_spans(r, obs::SpanRegistry::current());
+  load_trace(r, obs::TraceRing::current());
+  world.sync_scheduler_baseline();
+}
+
+}  // namespace
+
+ServiceConfig ServiceConfig::from_env(ServiceConfig base) {
+  base.prefixes = env_size_knob("LG_SERVICE_PREFIXES", base.prefixes);
+  base.clients = env_size_knob("LG_SERVICE_CLIENTS", base.clients);
+  base.horizon_seconds =
+      env_double_knob("LG_SERVICE_HORIZON", base.horizon_seconds, 1.0);
+  base.tick_seconds =
+      env_double_knob("LG_SERVICE_TICK", base.tick_seconds, 1.0);
+  base.outages_per_hour =
+      env_double_knob("LG_SERVICE_OUTAGE_RATE", base.outages_per_hour, 0.0);
+  base.announce_per_hour = env_double_knob("LG_SERVICE_ANNOUNCE_BUDGET",
+                                           base.announce_per_hour, 0.0);
+  base.probe_rate_per_second = env_double_knob(
+      "LG_SERVICE_PROBE_BUDGET", base.probe_rate_per_second, 0.0);
+  return base;
+}
+
+ServiceShardReport run_service_shard(const ServiceConfig& cfg,
+                                     std::size_t shard, std::uint64_t seed,
+                                     const ServiceRun& run) {
+  ServiceShardReport report;
+  report.shard = shard;
+  report.seed = seed;
+
+  workload::SimWorldConfig wc;
+  wc.topology = cfg.shard_topology;
+  wc.topology.seed = seed;
+  wc.engine.seed = seed + 1;
+  // Remediation pacing is the announcement budget's job; a 30 s MRAI would
+  // advance the clock past several service ticks on every converge.
+  wc.engine.default_mrai = 0.0;
+  wc.responsiveness.seed = seed + 2;
+  workload::SimWorld world(wc);
+
+  AsId origin = topo::kInvalidAs;
+  for (const AsId as : world.topology().stubs) {
+    if (world.graph().providers(as).size() >= 2) {
+      origin = as;
+      break;
+    }
+  }
+  if (origin == topo::kInvalidAs) {
+    report.origin = origin;
+    return report;  // degenerate topology; empty shard
+  }
+  report.origin = origin;
+
+  const double shards_d = static_cast<double>(cfg.shards);
+  AnnouncementBudget announce(cfg.announce_per_hour / 3600.0 / shards_d,
+                              std::max(1.0, cfg.announce_burst / shards_d));
+  ProbeAdmission admission(cfg.probe_rate_per_second, cfg.probe_burst);
+
+  ServicePlane plane(world, cfg, shard, seed, origin, announce, admission);
+  if (run.restore_blob != nullptr) {
+    // Drain the construction-time announcements, then reinstate the
+    // checkpointed state wholesale (engine snapshot included — the replayed
+    // infrastructure announcements land in the same quiesced RIBs).
+    world.converge();
+    util::BinReader r(*run.restore_blob);
+    restore_shard(r, shard, seed, world, plane, announce, admission);
+  } else {
+    plane.setup();
+  }
+
+  const double tick = cfg.tick_seconds;
+  bool checkpointed = false;
+  while (true) {
+    const double t = tick * static_cast<double>(plane.ticks() + 1);
+    if (t > cfg.horizon_seconds + 1e-9) break;
+    if (world.scheduler().now() < t) world.scheduler().run(t);
+    plane.tick(std::max(t, world.scheduler().now()));
+    world.converge();
+    if (run.checkpoint_at > 0.0 && t >= run.checkpoint_at) {
+      report.checkpoint =
+          save_checkpoint(shard, seed, world, plane, announce, admission);
+      checkpointed = true;
+      break;
+    }
+  }
+  if (!checkpointed) {
+    // Drain: no new injections (the stream is horizon-gated), active
+    // failures expire, in-flight episodes settle, slots revert.
+    const double drain_end = cfg.horizon_seconds + cfg.drain_cap_seconds;
+    while (!plane.drained()) {
+      const double t = tick * static_cast<double>(plane.ticks() + 1);
+      if (t > drain_end + 1e-9) break;
+      if (world.scheduler().now() < t) world.scheduler().run(t);
+      plane.tick(std::max(t, world.scheduler().now()));
+      world.converge();
+    }
+  }
+  plane.fill_report(report, world.scheduler().now());
+  return report;
+}
+
+ServiceScheduler::ServiceScheduler(ServiceConfig cfg) : cfg_(std::move(cfg)) {}
+
+ServiceResult ServiceScheduler::run_impl(
+    const ServiceRun& base, const std::vector<std::string>* blobs) {
+  if (blobs != nullptr && blobs->size() != cfg_.shards) {
+    throw std::runtime_error(
+        "service checkpoint: blob count " + std::to_string(blobs->size()) +
+        " does not match shard count " + std::to_string(cfg_.shards));
+  }
+  run::TrialRunnerConfig rc;
+  rc.threads = cfg_.threads;
+  rc.base_seed = cfg_.base_seed;
+  run::TrialRunner runner(rc);
+  auto reports = runner.run(cfg_.shards, [&](run::TrialContext& ctx) {
+    ServiceRun r = base;
+    if (blobs != nullptr) r.restore_blob = &(*blobs)[ctx.index];
+    return run_service_shard(cfg_, ctx.index, ctx.seed, r);
+  });
+  ServiceResult result;
+  result.config = cfg_;
+  result.shards = std::move(reports);
+  return result;
+}
+
+ServiceResult ServiceScheduler::run() { return run_impl(ServiceRun{}, nullptr); }
+
+ServiceResult ServiceScheduler::run_until(double checkpoint_at) {
+  ServiceRun r;
+  r.checkpoint_at = checkpoint_at;
+  return run_impl(r, nullptr);
+}
+
+ServiceResult ServiceScheduler::resume(const std::vector<std::string>& blobs) {
+  return run_impl(ServiceRun{}, &blobs);
+}
+
+void ServiceScheduler::write_checkpoint(const ServiceResult& result,
+                                        const std::string& path) {
+  util::BinWriter w;
+  w.magic(kFileTag, kVersion);
+  w.u64(result.shards.size());
+  for (const auto& s : result.shards) {
+    if (s.checkpoint.empty()) {
+      throw std::runtime_error(
+          "service checkpoint: shard " + std::to_string(s.shard) +
+          " has no checkpoint blob (was the run made with run_until?)");
+    }
+    w.bytes(s.checkpoint);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  const std::string& blob = w.blob();
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+std::vector<std::string> ServiceScheduler::read_checkpoint(
+    const std::string& path, std::size_t expect_shards) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+  util::BinReader r(contents);
+  r.magic(kFileTag, kVersion);
+  const std::size_t n = r.count(1);
+  if (n != expect_shards) {
+    throw std::runtime_error(
+        "service checkpoint: file holds " + std::to_string(n) +
+        " shards, config expects " + std::to_string(expect_shards));
+  }
+  std::vector<std::string> blobs;
+  blobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) blobs.push_back(r.bytes());
+  return blobs;
+}
+
+std::uint64_t ServiceResult::episodes_opened() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.episodes_opened;
+  return n;
+}
+
+std::uint64_t ServiceResult::episodes_closed() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.episodes_closed;
+  return n;
+}
+
+std::uint64_t ServiceResult::outcome_count(EpisodeOutcome o) const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.outcomes[static_cast<std::size_t>(o)];
+  return n;
+}
+
+std::uint64_t ServiceResult::outages_injected() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards) n += s.outages_injected;
+  return n;
+}
+
+double ServiceResult::episodes_per_sim_hour() const {
+  const double hours = config.horizon_seconds / 3600.0;
+  return hours > 0.0 ? static_cast<double>(episodes_closed()) / hours : 0.0;
+}
+
+std::vector<double> ServiceResult::remediate_latencies() const {
+  std::vector<double> out;
+  for (const auto& s : shards) {
+    out.insert(out.end(), s.remediate_latencies.begin(),
+               s.remediate_latencies.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ServiceResult::budget_respected() const {
+  for (const auto& s : shards) {
+    if (s.announce_spent > s.announce_capacity + 1e-6) return false;
+    if (s.announce_utilization < 0.0 || s.announce_utilization > 1.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ServiceResult::fingerprint() const {
+  std::ostringstream os;
+  for (const auto& s : shards) {
+    char fnv[32];
+    std::snprintf(fnv, sizeof(fnv), "%016llx",
+                  static_cast<unsigned long long>(s.fingerprint));
+    os << "shard " << s.shard << " origin " << s.origin << " clients "
+       << s.clients << " prefixes " << s.prefixes << " ticks " << s.ticks
+       << " outages " << s.outages_injected << " opened " << s.episodes_opened
+       << " closed " << s.episodes_closed << " outcomes [";
+    for (std::size_t i = 0; i < s.outcomes.size(); ++i) {
+      if (i != 0) os << ",";
+      os << s.outcomes[i];
+    }
+    os << "] leases " << s.slot_leases << " spent ";
+    append_num(os, s.announce_spent);
+    os << " util ";
+    append_num(os, s.announce_utilization);
+    os << " fnv " << fnv << "\n";
+    for (const auto& rec : s.records) {
+      os << "  key " << rec.key << " " << topo::format_ipv4(rec.client)
+         << " as" << rec.client_as << " "
+         << episode_outcome_name(rec.outcome) << " blamed"
+         << (rec.blamed == topo::kInvalidAs ? 0 : rec.blamed) << " slot"
+         << rec.slot << " flap" << rec.flap_generation << " defers "
+         << rec.probe_deferrals << "/" << rec.budget_deferrals << " t=[";
+      append_num(os, rec.opened_at);
+      os << ",";
+      append_num(os, rec.remediated_at);
+      os << ",";
+      append_num(os, rec.closed_at);
+      os << "]\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lg::fleet

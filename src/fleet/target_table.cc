@@ -15,6 +15,33 @@ std::size_t TargetTable::shard_quota(std::size_t shard) const {
   return base + (shard < total_ % shards_ ? 1 : 0);
 }
 
+std::size_t TargetTable::shard_start(std::size_t shard) const {
+  if (shard > shards_) shard = shards_;
+  const std::size_t base = total_ / shards_;
+  const std::size_t rem = total_ % shards_;
+  return shard * base + std::min(shard, rem);
+}
+
+std::vector<ServicedPrefix> TargetTable::shard_universe(
+    std::size_t shard, std::size_t clients) const {
+  std::vector<ServicedPrefix> out;
+  if (clients == 0) return out;
+  const std::size_t start = shard_start(shard);
+  const std::size_t quota = shard_quota(shard);
+  out.reserve(quota);
+  for (std::size_t i = 0; i < quota; ++i) {
+    const auto key = static_cast<std::uint32_t>(start + i);
+    out.push_back(ServicedPrefix{
+        key, virtual_prefix(key), static_cast<std::uint32_t>(key % clients)});
+  }
+  return out;
+}
+
+topo::Prefix TargetTable::virtual_prefix(std::uint32_t key) {
+  constexpr Ipv4 kServiceBase = 12u << 24;  // 12.0.0.0
+  return topo::Prefix(kServiceBase + key * 256u, 24);
+}
+
 std::vector<MonitoredTarget> TargetTable::enumerate(workload::SimWorld& world,
                                                     AsId origin,
                                                     std::size_t count) {

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "topology/addressing.h"
+#include "topology/prefix.h"
 
 namespace lg::workload {
 class SimWorld;
@@ -28,6 +30,22 @@ struct MonitoredTarget {
   // admission controller repairs high-impact episodes first when probe
   // budget runs short.
   double weight = 1.0;
+};
+
+// One entry of the multi-prefix service universe: a (prefix, origin-policy)
+// pair the always-on plane keeps an episode machine for. The prefix is
+// *virtual* — bookkeeping identity for a customer /24 the origin is
+// responsible for — and maps onto a monitored client whose reachability
+// stands in for the prefix's reachability. Real BGP work (sentinel +
+// selective poisoning) is leased through the origin's physical remediation
+// slots, so a universe of 100k prefixes costs per-prefix state, not 100k
+// RIB entries.
+struct ServicedPrefix {
+  // Dense fleet-wide key; shard = key partition, policy seed, RNG salt.
+  std::uint32_t key = 0;
+  topo::Prefix prefix;
+  // Index into the shard's monitored-client vector.
+  std::uint32_t client = 0;
 };
 
 class TargetTable {
@@ -50,6 +68,23 @@ class TargetTable {
   static std::vector<MonitoredTarget> enumerate(workload::SimWorld& world,
                                                 AsId origin,
                                                 std::size_t count);
+
+  // Key of `shard`'s first serviced prefix (prefix keys are dense and
+  // contiguous per shard, so the shard owning a key is recoverable from the
+  // quotas alone).
+  std::size_t shard_start(std::size_t shard) const;
+
+  // Build `shard`'s slice of the serviced-prefix universe over `clients`
+  // monitored destinations (prefix -> client by key modulo, so clients are
+  // load-balanced and the mapping is position-independent). Deterministic
+  // in (total, shards, shard, clients) only.
+  std::vector<ServicedPrefix> shard_universe(std::size_t shard,
+                                             std::size_t clients) const;
+
+  // The virtual /24 for a universe key, carved from 12.0.0.0/6 — disjoint
+  // from the topology's production/sentinel (10/8) and infrastructure
+  // (11/8) space, so virtual prefixes can never shadow a real RIB entry.
+  static topo::Prefix virtual_prefix(std::uint32_t key);
 
  private:
   std::size_t total_;

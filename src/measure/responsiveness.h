@@ -37,6 +37,14 @@ class Responsiveness {
 
   const ResponsivenessConfig& config() const noexcept { return cfg_; }
 
+  // Checkpoint support. rate_limited() only draws from the RNG when
+  // rate_limit_drop_prob > 0, but the stream position must still survive a
+  // restore for configs that enable it.
+  util::Rng::State rng_state() const noexcept { return rng_.save_state(); }
+  void restore_rng(const util::Rng::State& s) noexcept {
+    rng_.restore_state(s);
+  }
+
  private:
   ResponsivenessConfig cfg_;
   util::Rng rng_;

@@ -42,6 +42,9 @@ class Counter {
   // instrumented subsystem with its own resettable counters (e.g.
   // BgpEngine::reset_counters) keep the registry in lockstep.
   void reset() noexcept { value_ = 0; }
+  // Checkpoint/restore: set the exact saved value, bypassing the enabled
+  // flag (a restore is not an observation).
+  void restore(std::uint64_t v) noexcept { value_ = v; }
   std::uint64_t value() const noexcept { return value_; }
   const std::string& name() const noexcept { return name_; }
 
@@ -66,6 +69,11 @@ class Gauge {
   void maximize(double v) noexcept {
     if (!*enabled_) return;
     if (v > max_) max_ = v;
+  }
+  // Checkpoint/restore: set saved value and high-water mark directly.
+  void restore(double value, double max) noexcept {
+    value_ = value;
+    max_ = max;
   }
   double value() const noexcept { return value_; }
   double max() const noexcept { return max_; }
@@ -93,6 +101,14 @@ class Distribution {
   }
   const util::Summary& summary() const noexcept { return summary_; }
   const util::EmpiricalCdf& cdf() const noexcept { return cdf_; }
+  // Checkpoint/restore: the Welford accumulator is carried bit-exactly (it
+  // is FP-order dependent, so it cannot be recomputed from the samples), and
+  // the CDF keeps its insertion-order samples.
+  void restore(std::size_t n, double mean, double m2, double min, double max,
+               std::vector<double> samples) {
+    summary_.restore(n, mean, m2, min, max);
+    cdf_.restore(std::move(samples));
+  }
   const std::string& name() const noexcept { return name_; }
 
  private:

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <unordered_map>
 
 #include "util/rng.h"
 
@@ -96,6 +98,24 @@ void SpanRegistry::clear() {
   scope_.clear();
   sequence_ = 0;
   epoch_ = 0;
+}
+
+void SpanRegistry::restore_record(const SpanRecord& rec) {
+  index_.emplace(rec.id, records_.size());
+  records_.push_back(rec);
+}
+
+const char* SpanRegistry::intern_name(const std::string& name) {
+  // Deliberately leaked: interned names must outlive every registry,
+  // including the global one (static destruction order is not knowable).
+  static std::mutex* mu = new std::mutex;
+  static auto* pool = new std::unordered_map<std::string, const char*>;
+  const std::lock_guard<std::mutex> lock(*mu);
+  const auto it = pool->find(name);
+  if (it != pool->end()) return it->second;
+  auto* stored = new std::string(name);
+  pool->emplace(*stored, stored->c_str());
+  return stored->c_str();
 }
 
 std::string SpanRegistry::digest() const {

@@ -127,6 +127,28 @@ class SpanRegistry {
   // byte-identical span trees (the determinism tests diff this).
   std::string digest() const;
 
+  // ---- Checkpoint/restore ----
+  // A restored registry must continue the exact id stream of the
+  // checkpointed one: same seed, same sequence position, same epoch and
+  // track. Records are replayed in recording order via restore_record so
+  // ids (and therefore parent links and SpanIds held by live episode
+  // machines) stay valid across the restore.
+  std::uint64_t sequence() const noexcept { return sequence_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  void restore_stream(std::uint64_t seed, std::uint64_t sequence,
+                      std::uint64_t epoch, std::uint32_t track) noexcept {
+    seed_ = seed;
+    sequence_ = sequence;
+    epoch_ = epoch;
+    track_ = track;
+  }
+  // Append a deserialized record (id preserved, index rebuilt).
+  void restore_record(const SpanRecord& rec);
+  // Span names are `const char*` with static duration by contract; a
+  // deserialized name is interned into a process-lifetime pool so restored
+  // records satisfy the same contract (and equal names compare cheaply).
+  static const char* intern_name(const std::string& name);
+
  private:
   bool enabled_ = false;
   std::uint64_t seed_ = 0;

@@ -141,6 +141,13 @@ class TraceRing {
 
   void clear();
 
+  // ---- Checkpoint/restore ----
+  // Reinstate a snapshotted ring: lifetime counters plus the held events
+  // (oldest first, as produced by events()). Throws std::runtime_error on an
+  // inconsistent snapshot (more events than capacity or than were recorded).
+  void restore(std::uint64_t recorded, std::uint64_t merge_dropped,
+               const std::vector<TraceEvent>& events);
+
  private:
   bool enabled_ = false;
   std::size_t capacity_;

@@ -1,0 +1,177 @@
+// Versioned binary snapshot codec for checkpoint/restore.
+//
+// The always-on service plane (lg::fleet) snapshots a live shard — SoA RIBs,
+// interned path tables, episode machines, budgets, observability registries —
+// and a restored process must resume *byte-identically*. That rules out any
+// text round-trip (printf/parse loses the low bits of a double) and any
+// pointer- or hash-order-dependent encoding. BinWriter/BinReader therefore
+// serialize fixed-width little-endian integers and bit-exact doubles into a
+// std::string blob, with a magic+version header so an old snapshot fails
+// loudly instead of misparsing.
+//
+// Decode errors throw std::runtime_error: a snapshot is operator input, and
+// the topology loader set the convention that malformed input gets a
+// diagnostic, not undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lg::util {
+
+class BinWriter {
+ public:
+  // Every snapshot section starts with a magic tag + version, so a reader
+  // can verify it is looking at the section it expects.
+  void magic(std::uint32_t tag, std::uint32_t version) {
+    u32(tag);
+    u32(version);
+  }
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+  // Bit-exact: doubles round-trip through their IEEE-754 representation.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    size(s.size());
+    buf_.append(s);
+  }
+  void bytes(const std::string& s) { str(s); }
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& write_one) {
+    size(v.size());
+    for (const T& x : v) write_one(x);
+  }
+  template <typename T, typename Fn>
+  void opt(const std::optional<T>& v, Fn&& write_one) {
+    b(v.has_value());
+    if (v.has_value()) write_one(*v);
+  }
+
+  const std::string& blob() const noexcept { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(const std::string& blob) : buf_(&blob) {}
+
+  void magic(std::uint32_t tag, std::uint32_t version) {
+    const std::uint32_t got_tag = u32();
+    const std::uint32_t got_version = u32();
+    if (got_tag != tag) {
+      throw std::runtime_error("snapshot: bad section tag (corrupt or "
+                               "truncated snapshot)");
+    }
+    if (got_version != version) {
+      throw std::runtime_error(
+          "snapshot: section version " + std::to_string(got_version) +
+          ", this build reads version " + std::to_string(version));
+    }
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>((*buf_)[pos_++]);
+  }
+  bool b() { return u8() != 0; }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>((*buf_)[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>((*buf_)[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::size_t size() {
+    const std::uint64_t v = u64();
+    if (v > remaining()) {
+      // Every size prefixes at least one byte per element downstream, so a
+      // size beyond the remaining blob is always corruption; failing here keeps an
+      // attacker-sized allocation from happening at all.
+      throw std::runtime_error("snapshot: size field exceeds blob length");
+    }
+    return static_cast<std::size_t>(v);
+  }
+  // A count of multi-byte records: validated against what could possibly fit.
+  std::size_t count(std::size_t min_record_bytes) {
+    const std::uint64_t v = u64();
+    if (min_record_bytes != 0 && v > remaining() / min_record_bytes) {
+      throw std::runtime_error("snapshot: record count exceeds blob length");
+    }
+    return static_cast<std::size_t>(v);
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::size_t n = size();
+    need(n);
+    std::string s = buf_->substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::string bytes() { return str(); }
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& read_one) {
+    const std::size_t n = count(1);
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(read_one());
+    return v;
+  }
+  template <typename T, typename Fn>
+  std::optional<T> opt(Fn&& read_one) {
+    if (!b()) return std::nullopt;
+    return read_one();
+  }
+
+  bool at_end() const noexcept { return pos_ == buf_->size(); }
+  std::size_t remaining() const noexcept { return buf_->size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (buf_->size() - pos_ < n) {
+      throw std::runtime_error("snapshot: truncated blob");
+    }
+  }
+  const std::string* buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lg::util

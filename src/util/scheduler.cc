@@ -1,6 +1,8 @@
 #include "util/scheduler.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace lg::util {
 
@@ -91,6 +93,21 @@ std::size_t Scheduler::run(SimTime until) {
   // Advance the clock to the bound: everything due before it has run.
   if (until != kForever && now_ < until) now_ = until;
   return n;
+}
+
+void Scheduler::restore_state(const State& s) {
+  if (live_events_ != 0) {
+    throw std::runtime_error(
+        "Scheduler::restore_state: queue not drained (" +
+        std::to_string(live_events_) + " pending events)");
+  }
+  heap_.clear();
+  callbacks_.clear();
+  now_ = s.now;
+  executed_ = s.executed;
+  cancelled_ = s.cancelled;
+  compactions_ = s.compactions;
+  max_pending_ = s.max_pending;
 }
 
 }  // namespace lg::util

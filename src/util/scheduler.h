@@ -73,6 +73,24 @@ class Scheduler {
 
   static constexpr SimTime kForever = 1e300;
 
+  // ---- Checkpoint/restore ----
+  // A checkpoint barrier is only taken with the queue drained (BGP quiesced,
+  // every tick closure retired), so scheduler state reduces to the clock and
+  // the lifetime counters. restore_state() throws if events are pending —
+  // closures cannot be serialized, and silently dropping them would be a
+  // correctness bug, not a restore.
+  struct State {
+    SimTime now = 0.0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t compactions = 0;
+    std::size_t max_pending = 0;
+  };
+  State save_state() const noexcept {
+    return State{now_, executed_, cancelled_, compactions_, max_pending_};
+  }
+  void restore_state(const State& s);
+
  private:
   struct Event {
     SimTime when;

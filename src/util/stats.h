@@ -25,6 +25,20 @@ class Summary {
   double max() const noexcept { return n_ ? max_ : 0.0; }
   double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
 
+  // ---- Checkpoint/restore ----
+  // Welford accumulation is floating-point-order dependent, so a snapshot
+  // must carry the raw accumulator (including m2) bit-exactly rather than
+  // recompute it from summary statistics.
+  double m2() const noexcept { return m2_; }
+  void restore(std::size_t n, double mean, double m2, double min,
+               double max) noexcept {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = min;
+    max_ = max;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -68,6 +82,16 @@ class EmpiricalCdf {
   std::size_t count_above(double x) const;
 
   const std::vector<double>& sorted_samples() const;
+
+  // ---- Checkpoint/restore ----
+  // Insertion-order samples, for serialization. sorted_samples() must NOT be
+  // used here: it sorts in place, and a restored CDF has to replay the same
+  // insertion order so any downstream Welford pass stays bit-exact.
+  const std::vector<double>& raw_samples() const noexcept { return samples_; }
+  void restore(std::vector<double> samples) {
+    samples_ = std::move(samples);
+    sorted_ = samples_.empty();
+  }
 
  private:
   void ensure_sorted() const;

@@ -1,0 +1,77 @@
+#include "workload/outage_stream.h"
+
+#include <limits>
+
+#include "util/codec.h"
+
+namespace lg::workload {
+
+namespace {
+constexpr std::uint32_t kStreamTag = 0x52545354;  // "TSTR"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+OutageStream::OutageStream(OutageStreamConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed, cfg.stream) {}
+
+void OutageStream::ensure_pending() {
+  if (has_pending_) return;
+  if (cfg_.rate_per_hour <= 0.0) {
+    pending_ = OutageEvent{std::numeric_limits<double>::infinity(), 0.0};
+    has_pending_ = true;
+    return;
+  }
+  clock_ += rng_.exponential(3600.0 / cfg_.rate_per_hour);
+  double d = sample_outage_duration(rng_, cfg_.durations);
+  if (cfg_.duration_cap_seconds > 0.0 && d > cfg_.duration_cap_seconds) {
+    d = cfg_.duration_cap_seconds;
+  }
+  pending_ = OutageEvent{clock_, d};
+  has_pending_ = true;
+  ++generated_;
+}
+
+double OutageStream::next_start() {
+  ensure_pending();
+  return pending_.start_seconds;
+}
+
+OutageEvent OutageStream::next() {
+  ensure_pending();
+  const OutageEvent out = pending_;
+  // A silent stream's pending event is the +infinity sentinel; it is never
+  // actually consumable, so keep it pending rather than "generating" more.
+  if (cfg_.rate_per_hour > 0.0) has_pending_ = false;
+  return out;
+}
+
+void OutageStream::save(util::BinWriter& w) const {
+  w.magic(kStreamTag, kVersion);
+  const util::Rng::State rs = rng_.save_state();
+  w.u64(rs.state);
+  w.u64(rs.inc);
+  w.b(rs.have_cached_normal);
+  w.f64(rs.cached_normal);
+  w.f64(clock_);
+  w.u64(generated_);
+  w.b(has_pending_);
+  w.f64(pending_.start_seconds);
+  w.f64(pending_.duration_seconds);
+}
+
+void OutageStream::load(util::BinReader& r) {
+  r.magic(kStreamTag, kVersion);
+  util::Rng::State rs;
+  rs.state = r.u64();
+  rs.inc = r.u64();
+  rs.have_cached_normal = r.b();
+  rs.cached_normal = r.f64();
+  rng_.restore_state(rs);
+  clock_ = r.f64();
+  generated_ = r.u64();
+  has_pending_ = r.b();
+  pending_.start_seconds = r.f64();
+  pending_.duration_seconds = r.f64();
+}
+
+}  // namespace lg::workload

@@ -84,6 +84,14 @@ class SimWorld {
   // Stub ASes usable as PlanetLab-style vantage points.
   std::vector<AsId> stub_vantage_ases(std::size_t n) const;
 
+  // Checkpoint support: after Scheduler::restore_state rewrites the executed
+  // counter underneath us, re-baseline the delta publisher so the next
+  // publish does not replay (or negate) history. The restored metrics
+  // registry already carries the original run's lg.scheduler.* totals.
+  void sync_scheduler_baseline() noexcept {
+    published_executed_ = sched_.executed();
+  }
+
  private:
   // Mirror the scheduler's counters into the global metrics registry
   // (lg.scheduler.*). The scheduler lives below lg::obs in the dependency

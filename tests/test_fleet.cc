@@ -15,6 +15,8 @@
 #include <cstdlib>
 #include <optional>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "check/fuzzer.h"
@@ -23,6 +25,7 @@
 #include "fleet/episode_manager.h"
 #include "fleet/fleet_scheduler.h"
 #include "fleet/fuzz.h"
+#include "fleet/service_plane.h"
 #include "fleet/target_table.h"
 #include "workload/scenarios.h"
 #include "workload/sim_world.h"
@@ -462,22 +465,144 @@ TEST(FleetFuzzTest, ReplaysSeedFromEnvironment) {
 
 // ------------------------------------------------------------- env knobs
 
-TEST(FleetConfigTest, FromEnvOverridesAndForgivesGarbage) {
+TEST(FleetConfigTest, FromEnvAppliesValidOverrides) {
   ::setenv("LG_FLEET_TARGETS", "250", 1);
   ::setenv("LG_FLEET_ANNOUNCE_BUDGET", "12.5", 1);
-  ::setenv("LG_FLEET_PROBE_BUDGET", "garbage", 1);
   const auto cfg = fleet::FleetConfig::from_env();
   ::unsetenv("LG_FLEET_TARGETS");
   ::unsetenv("LG_FLEET_ANNOUNCE_BUDGET");
-  ::unsetenv("LG_FLEET_PROBE_BUDGET");
   EXPECT_EQ(cfg.targets, 250u);
   EXPECT_DOUBLE_EQ(cfg.announce_per_hour, 12.5);
-  EXPECT_DOUBLE_EQ(cfg.probe_rate_per_second,
-                   fleet::FleetConfig{}.probe_rate_per_second)
-      << "unparsable value must keep the default";
 
   const auto untouched = fleet::FleetConfig::from_env();
   EXPECT_EQ(untouched.targets, fleet::FleetConfig{}.targets);
+}
+
+// Regression: from_env used to silently keep the default when a knob held
+// garbage — a capacity run would "succeed" with a config the operator never
+// asked for. Malformed operator input must throw a diagnostic naming the
+// knob (the topology loader's convention, fleet/env_knobs.h).
+TEST(FleetConfigTest, FromEnvThrowsOnGarbage) {
+  const auto expect_throw = [](const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    try {
+      (void)fleet::FleetConfig::from_env();
+      ::unsetenv(name);
+      FAIL() << name << "=" << value << " must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << "diagnostic must name the knob: " << e.what();
+    }
+    ::unsetenv(name);
+  };
+  expect_throw("LG_FLEET_TARGETS", "garbage");
+  expect_throw("LG_FLEET_TARGETS", "1O00");  // the classic typo'd zero
+  expect_throw("LG_FLEET_TARGETS", "0");
+  expect_throw("LG_FLEET_TARGETS", "-5");
+  expect_throw("LG_FLEET_ANNOUNCE_BUDGET", "12.5x");
+  expect_throw("LG_FLEET_PROBE_BUDGET", "-1");
+  expect_throw("LG_FLEET_STALL_SECONDS", "soon");
+}
+
+TEST(ServiceConfigTest, FromEnvValidatesServiceKnobs) {
+  ::setenv("LG_SERVICE_PREFIXES", "5000", 1);
+  ::setenv("LG_SERVICE_TICK", "15", 1);
+  const auto cfg = fleet::ServiceConfig::from_env();
+  ::unsetenv("LG_SERVICE_PREFIXES");
+  ::unsetenv("LG_SERVICE_TICK");
+  EXPECT_EQ(cfg.prefixes, 5000u);
+  EXPECT_DOUBLE_EQ(cfg.tick_seconds, 15.0);
+
+  const auto expect_throw = [](const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    try {
+      (void)fleet::ServiceConfig::from_env();
+      ::unsetenv(name);
+      FAIL() << name << "=" << value << " must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+          << "diagnostic must name the knob: " << e.what();
+    }
+    ::unsetenv(name);
+  };
+  expect_throw("LG_SERVICE_PREFIXES", "many");
+  expect_throw("LG_SERVICE_PREFIXES", "0");
+  expect_throw("LG_SERVICE_CLIENTS", "-3");
+  expect_throw("LG_SERVICE_HORIZON", "0.5");  // must be >= 1 s
+  expect_throw("LG_SERVICE_TICK", "1s");
+  expect_throw("LG_SERVICE_OUTAGE_RATE", "-1");
+  expect_throw("LG_SERVICE_ANNOUNCE_BUDGET", "none");
+  expect_throw("LG_SERVICE_PROBE_BUDGET", "-0.1");
+}
+
+// --------------------------------------------------- budget regressions
+
+// Regression: a run of trivially cheap isolations used to walk the EWMA
+// cost estimate toward zero, making admission free — the next real
+// isolation then stampeded the probe budget with no reservation backing
+// it. The estimate must floor at a fraction of the initial (paper-prior)
+// estimate.
+TEST(ProbeAdmissionTest, EstimateNeverCollapsesBelowFloor) {
+  ProbeAdmission adm(0.0, 1e9, 280.0, 0.25);
+  EXPECT_DOUBLE_EQ(adm.cost_floor(), 70.0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(adm.try_admit(0.0));
+    adm.settle(0.0, 1.0);  // near-free isolation, 100 times in a row
+  }
+  EXPECT_GE(adm.cost_estimate(), adm.cost_floor())
+      << "EWMA collapsed below the admission floor";
+  // The floor is a *floor*, not a pin: expensive isolations still raise it.
+  ASSERT_TRUE(adm.try_admit(0.0));
+  adm.settle(0.0, 1000.0);
+  EXPECT_GT(adm.cost_estimate(), adm.cost_floor());
+}
+
+// Regression: utilization(horizon) used to divide lifetime spend by the
+// capacity of the *nominal* horizon; a drain phase running past that
+// horizon kept spending and the report read > 1.0. Utilization must stay
+// in [0, 1] whenever the caller's horizon undershoots elapsed time.
+TEST(AnnouncementBudgetTest, UtilizationStaysInBoundsPastHorizon) {
+  AnnouncementBudget budget(1.0 / 60.0, 4.0);  // one per minute, burst 4
+  double now = 0.0;
+  // Spend continuously for two hours against a "one hour" nominal horizon.
+  for (int i = 0; i < 7200; ++i) {
+    now = static_cast<double>(i);
+    (void)budget.try_announce(now);
+  }
+  const double u = budget.utilization(3600.0);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0) << "utilization must clamp when horizon < elapsed";
+  EXPECT_GT(u, 0.9) << "a saturated bucket should read near 1.0";
+  // With an honest horizon the value is unchanged semantics: still [0, 1].
+  const double u2 = budget.utilization(now);
+  EXPECT_GE(u2, 0.0);
+  EXPECT_LE(u2, 1.0);
+}
+
+// ------------------------------------------------- holddown escalation
+
+TEST(EpisodeManagerTest, HolddownDurationShiftAndClampEdges) {
+  fleet::EpisodeConfig cfg;
+  cfg.holddown_seconds = 10.0;
+  cfg.holddown_max_seconds = 1e9;  // effectively uncapped for the shifts
+  using EM = fleet::EpisodeManager;
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 0), 10.0);
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 1), 20.0);
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 10), 10.0 * 1024.0);
+  // Shift clamps at 10: deeper flap generations cannot overflow the
+  // multiplier, they saturate at 2^10.
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 11),
+                   EM::holddown_duration(cfg, 10));
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 1000),
+                   EM::holddown_duration(cfg, 10));
+  // Negative flap counts clamp to the base duration.
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, -7), 10.0);
+  // The configured ceiling saturates the escalation.
+  cfg.holddown_max_seconds = 55.0;
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 0), 10.0);
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 2), 40.0);
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 3), 55.0);
+  EXPECT_DOUBLE_EQ(EM::holddown_duration(cfg, 10), 55.0);
 }
 
 }  // namespace

@@ -1,0 +1,246 @@
+// The multi-prefix service plane (fleet/service_plane.h) and its streaming
+// workload (workload/outage_stream.h):
+//  * OutageStream — determinism per seed, peek stability, save/load
+//    continuation, silent-stream semantics;
+//  * TargetTable's serviced-prefix universe — dense disjoint keys, virtual
+//    prefixes outside the topology's address space;
+//  * run_service_shard — same (config, shard, seed) means an identical
+//    report, different seeds diverge;
+//  * checkpoint/restore — an interrupted shard resumed from its blob
+//    finishes with exactly the state an uninterrupted run reaches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fleet/service_plane.h"
+#include "fleet/target_table.h"
+#include "util/codec.h"
+#include "workload/outage_stream.h"
+
+namespace lg {
+namespace {
+
+// ----------------------------------------------------------- outage stream
+
+workload::OutageStreamConfig stream_config(std::uint64_t seed) {
+  workload::OutageStreamConfig cfg;
+  cfg.rate_per_hour = 60.0;
+  cfg.duration_cap_seconds = 900.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(OutageStreamTest, DeterministicPerSeedAndPeekStable) {
+  workload::OutageStream a(stream_config(11));
+  workload::OutageStream b(stream_config(11));
+  for (int i = 0; i < 32; ++i) {
+    // Peeking must not advance the process, however often we do it.
+    const double peek = a.next_start();
+    EXPECT_EQ(a.next_start(), peek);
+    const auto ea = a.next();
+    const auto eb = b.next();
+    EXPECT_EQ(ea.start_seconds, peek);
+    EXPECT_EQ(ea.start_seconds, eb.start_seconds);
+    EXPECT_EQ(ea.duration_seconds, eb.duration_seconds);
+    EXPECT_GT(ea.duration_seconds, 0.0);
+    EXPECT_LE(ea.duration_seconds, 900.0);
+  }
+  EXPECT_EQ(a.generated(), 32u);
+
+  workload::OutageStream c(stream_config(12));
+  bool diverged = false;
+  workload::OutageStream a2(stream_config(11));
+  for (int i = 0; i < 32 && !diverged; ++i) {
+    diverged = c.next().start_seconds != a2.next().start_seconds;
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced the same arrivals";
+}
+
+TEST(OutageStreamTest, ArrivalsAreMonotoneAndRateShaped) {
+  workload::OutageStream s(stream_config(3));
+  double prev = 0.0;
+  double last = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto e = s.next();
+    EXPECT_GE(e.start_seconds, prev);
+    prev = e.start_seconds;
+    last = e.start_seconds;
+  }
+  // 60/h over 2000 arrivals ≈ 2000 minutes; allow a wide stochastic band.
+  const double hours = last / 3600.0;
+  EXPECT_GT(n / hours, 40.0);
+  EXPECT_LT(n / hours, 90.0);
+}
+
+TEST(OutageStreamTest, SaveLoadContinuesTheSameSequence) {
+  workload::OutageStream s(stream_config(21));
+  for (int i = 0; i < 10; ++i) (void)s.next();
+  (void)s.next_start();  // checkpoint with a pending arrival outstanding
+
+  util::BinWriter w;
+  s.save(w);
+  const std::string blob = w.take();
+
+  std::vector<workload::OutageEvent> expect;
+  for (int i = 0; i < 16; ++i) expect.push_back(s.next());
+
+  workload::OutageStream restored(stream_config(21));
+  util::BinReader r(blob);
+  restored.load(r);
+  EXPECT_EQ(restored.generated(), 11u);  // 10 consumed + 1 pending
+  for (int i = 0; i < 16; ++i) {
+    const auto e = restored.next();
+    EXPECT_EQ(e.start_seconds, expect[i].start_seconds);
+    EXPECT_EQ(e.duration_seconds, expect[i].duration_seconds);
+  }
+}
+
+TEST(OutageStreamTest, ZeroRateStreamIsSilent) {
+  workload::OutageStreamConfig cfg = stream_config(1);
+  cfg.rate_per_hour = 0.0;
+  workload::OutageStream s(cfg);
+  EXPECT_TRUE(std::isinf(s.next_start()));
+  EXPECT_EQ(s.generated(), 0u);
+}
+
+// --------------------------------------------------- serviced-prefix universe
+
+TEST(TargetTableTest, ShardUniverseKeysAreDenseAndDisjoint) {
+  const std::size_t total = 1000, shards = 16, clients = 64;
+  fleet::TargetTable table(total, shards);
+  std::set<std::uint32_t> seen;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto universe = table.shard_universe(s, clients);
+    EXPECT_EQ(universe.size(), table.shard_quota(s));
+    EXPECT_EQ(universe.front().key, table.shard_start(s));
+    for (const auto& sp : universe) {
+      EXPECT_TRUE(seen.insert(sp.key).second) << "duplicate key " << sp.key;
+      EXPECT_LT(sp.client, clients);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, total);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), static_cast<std::uint32_t>(total - 1));
+}
+
+TEST(TargetTableTest, VirtualPrefixesLiveOutsideTopologySpace) {
+  // 12.0.0.0/6 spans 12.x–15.x (2^18 distinct /24s); production/sentinel
+  // space is 10/8 and infrastructure 11/8, so no virtual prefix may start
+  // with 10 or 11.
+  std::set<std::uint32_t> addrs;
+  for (std::uint32_t key : {0u, 1u, 255u, 99999u, (1u << 18) - 1}) {
+    const topo::Prefix p = fleet::TargetTable::virtual_prefix(key);
+    EXPECT_EQ(p.length(), 24);
+    const std::uint32_t octet = p.addr() >> 24;
+    EXPECT_GE(octet, 12u);
+    EXPECT_LE(octet, 15u);
+    EXPECT_TRUE(addrs.insert(p.addr()).second);
+  }
+}
+
+// ------------------------------------------------------------ service shard
+
+fleet::ServiceConfig small_service_config() {
+  fleet::ServiceConfig cfg;
+  cfg.prefixes = 64;
+  cfg.clients = 32;
+  cfg.shards = 4;
+  cfg.horizon_seconds = 1800.0;
+  cfg.warmup_seconds = 120.0;
+  cfg.drain_cap_seconds = 3600.0;
+  cfg.outages_per_hour = 96.0;  // fleet-wide; /4 shards keeps shards busy
+  cfg.shard_topology.num_tier1 = 3;
+  cfg.shard_topology.num_large_transit = 6;
+  cfg.shard_topology.num_small_transit = 12;
+  cfg.shard_topology.num_stubs = 40;
+  return cfg;
+}
+
+std::string report_digest(const fleet::ServiceShardReport& r) {
+  fleet::ServiceResult one;
+  one.shards.push_back(r);
+  return one.fingerprint();
+}
+
+TEST(ServicePlaneTest, ShardRunIsDeterministicPerSeed) {
+  const fleet::ServiceConfig cfg = small_service_config();
+  const auto a = fleet::run_service_shard(cfg, 0, 77);
+  const auto b = fleet::run_service_shard(cfg, 0, 77);
+  EXPECT_EQ(report_digest(a), report_digest(b));
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_GT(a.outages_injected, 0u);
+  EXPECT_GT(a.episodes_opened, 0u);
+  EXPECT_EQ(a.episodes_opened, a.episodes_closed);
+  EXPECT_EQ(a.open_at_end, 0u);
+
+  const auto c = fleet::run_service_shard(cfg, 0, 78);
+  EXPECT_NE(report_digest(a), report_digest(c))
+      << "different seeds produced identical shard behaviour";
+}
+
+TEST(ServicePlaneTest, EveryClosedEpisodeHasConsistentTimestamps) {
+  const fleet::ServiceConfig cfg = small_service_config();
+  const auto r = fleet::run_service_shard(cfg, 1, 5);
+  ASSERT_FALSE(r.records.empty());
+  for (const auto& rec : r.records) {
+    EXPECT_GE(rec.opened_at, cfg.warmup_seconds);
+    EXPECT_GE(rec.closed_at, rec.opened_at);
+    EXPECT_LT(rec.key, cfg.prefixes);
+    if (rec.outcome == fleet::EpisodeOutcome::kRemediated) {
+      EXPECT_GE(rec.remediated_at, rec.opened_at);
+      EXPECT_GE(rec.slot, 0);
+      EXPECT_NE(rec.blamed, topo::kInvalidAs);
+    }
+  }
+  EXPECT_GE(r.announce_utilization, 0.0);
+  EXPECT_LE(r.announce_utilization, 1.0);
+}
+
+TEST(ServicePlaneTest, CheckpointRestoreMatchesUninterruptedRun) {
+  const fleet::ServiceConfig cfg = small_service_config();
+  const std::uint64_t seed = 91;
+
+  const auto full = fleet::run_service_shard(cfg, 2, seed);
+
+  fleet::ServiceRun checkpoint;
+  checkpoint.checkpoint_at = 900.0;  // mid-stream, episodes in flight
+  const auto half = fleet::run_service_shard(cfg, 2, seed, checkpoint);
+  ASSERT_FALSE(half.checkpoint.empty());
+  EXPECT_LT(half.ticks, full.ticks);
+
+  fleet::ServiceRun resume;
+  resume.restore_blob = &half.checkpoint;
+  const auto resumed = fleet::run_service_shard(cfg, 2, seed, resume);
+
+  EXPECT_EQ(resumed.fingerprint, full.fingerprint);
+  EXPECT_EQ(resumed.ticks, full.ticks);
+  EXPECT_EQ(resumed.outages_injected, full.outages_injected);
+  EXPECT_EQ(resumed.episodes_opened, full.episodes_opened);
+  EXPECT_EQ(resumed.outcomes, full.outcomes);
+  EXPECT_EQ(resumed.announce_spent, full.announce_spent);
+  EXPECT_EQ(resumed.slot_leases, full.slot_leases);
+  EXPECT_EQ(report_digest(resumed), report_digest(full));
+}
+
+TEST(ServicePlaneTest, RestoreRejectsBlobFromDifferentShard) {
+  const fleet::ServiceConfig cfg = small_service_config();
+  fleet::ServiceRun checkpoint;
+  checkpoint.checkpoint_at = 600.0;
+  const auto half = fleet::run_service_shard(cfg, 0, 13, checkpoint);
+  ASSERT_FALSE(half.checkpoint.empty());
+
+  fleet::ServiceRun resume;
+  resume.restore_blob = &half.checkpoint;
+  EXPECT_THROW(fleet::run_service_shard(cfg, 1, 13, resume),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lg
