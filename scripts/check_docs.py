@@ -7,11 +7,11 @@
 2. Every src/<subsystem>/ directory must appear in the module map of
    docs/ARCHITECTURE.md, so the architecture doc cannot silently rot as
    subsystems are added.
-3. Every LG_* environment knob read by src/ or bench/ code (an exact
-   "LG_..." string literal — the getenv / *_from_env call-site idiom) must
-   have a row in docs/OPERATORS.md's knob table, and every documented knob
-   must still exist in the code, so the operator doc can neither lag nor
-   accumulate stale rows.
+3. Every LG_* environment knob read by src/, bench/, or tests/ code (an
+   exact "LG_..." string literal — the getenv / *_from_env call-site
+   idiom) must have a row in docs/OPERATORS.md's knob table, and every
+   documented knob must still exist in the code, so the operator doc can
+   neither lag nor accumulate stale rows.
 
 Exit status 0 = clean, 1 = problems (each printed on its own line).
 """
@@ -81,7 +81,7 @@ def check_knob_table() -> list:
     documented = set(KNOB_ROW_RE.findall(
         OPERATORS.read_text(encoding="utf-8")))
     read_sites = {}
-    for top in ("src", "bench"):
+    for top in ("src", "bench", "tests"):
         for path in sorted((REPO / top).rglob("*")):
             if path.suffix not in (".cc", ".h"):
                 continue
@@ -96,7 +96,7 @@ def check_knob_table() -> list:
     for knob in sorted(documented - set(read_sites)):
         problems.append(
             f"docs/OPERATORS.md: stale knob row `{knob}` "
-            f"(no read site in src/ or bench/)")
+            f"(no read site in src/, bench/, or tests/)")
     return problems
 
 

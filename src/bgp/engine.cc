@@ -5,6 +5,7 @@
 #include <exception>
 #include <stdexcept>
 
+#include "adversary/adversary_plane.h"
 #include "faults/fault_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -91,6 +92,42 @@ BgpEngine::BgpEngine(const topo::AsGraph& graph, util::Scheduler& sched,
       cfg_.world_threads != 0
           ? cfg_.world_threads
           : (util::in_parallel_region() ? 1 : world_threads_from_env());
+
+  // Peerlock locked set: computed unconditionally (cheap const queries
+  // against the immutable graph) so every speaker always holds the pointer;
+  // the filter is inert unless an adversary profile turns it on.
+  locked_ases_ = adversary::locked_ases(graph);
+  for (auto& sp : speakers_) sp.set_locked_ases(&locked_ases_);
+  // Adversary plane, same resolution idiom as the fault plane above. With
+  // the plane enabled, merge every AS's hash-derived behavior profile into
+  // its speaker config; check::ReferenceBgp derives the same profiles
+  // independently, which is what keeps the differential oracle authoritative
+  // under adversarial policies.
+  adversary_ = &adversary::AdversaryPlane::current();
+  if (adversary_->enabled()) {
+    const adversary::RoleTable roles(graph);
+    std::size_t n_pathlen = 0, n_defroute = 0, n_peerlock = 0, n_destab = 0;
+    for (auto& sp : speakers_) {
+      const adversary::Profile p =
+          adversary_->profile_for(sp.id(), roles.role(sp.id()));
+      if (!p.any()) continue;
+      auto& scfg = sp.mutable_config();
+      if (p.path_length_limit != 0) {
+        scfg.path_length_limit = p.path_length_limit;
+        ++n_pathlen;
+      }
+      if (p.default_route) {
+        scfg.has_default_route = true;
+        ++n_defroute;
+      }
+      if (p.peerlock) {
+        scfg.peerlock_filter = true;
+        ++n_peerlock;
+      }
+      if (p.destabilizer) ++n_destab;
+    }
+    adversary_->note_applied(n_pathlen, n_defroute, n_peerlock, n_destab);
+  }
 }
 
 BgpEngine::~BgpEngine() = default;
@@ -614,6 +651,18 @@ std::uint64_t BgpEngine::messages_sent_by(AsId as) const {
 std::uint64_t BgpEngine::best_changes_of(AsId as) const {
   const std::uint32_t idx = index_of(as);
   return idx == kNoIndex ? 0 : best_changes_[idx];
+}
+
+std::uint64_t BgpEngine::pathlen_rejections() const {
+  std::uint64_t n = 0;
+  for (const auto& sp : speakers_) n += sp.rejected_pathlen();
+  return n;
+}
+
+std::uint64_t BgpEngine::peerlock_rejections() const {
+  std::uint64_t n = 0;
+  for (const auto& sp : speakers_) n += sp.rejected_peerlock();
+  return n;
 }
 
 }  // namespace lg::bgp

@@ -50,6 +50,10 @@ namespace lg::faults {
 class FaultPlane;
 }  // namespace lg::faults
 
+namespace lg::adversary {
+class AdversaryPlane;
+}  // namespace lg::adversary
+
 namespace lg::util {
 class ThreadPool;
 class BinWriter;
@@ -108,6 +112,17 @@ class BgpEngine {
 
   // Resolved LG_WORLD_THREADS value (>= 1).
   static std::size_t world_threads_from_env();
+
+  // The Peerlock locked set (sorted provider-free clique) this engine
+  // computed and installed into every speaker; the invariant checker
+  // replicates the filter from it.
+  const std::vector<AsId>& locked_ases() const noexcept {
+    return locked_ases_;
+  }
+  // Adversarial-import rejection totals across all speakers (diagnostics
+  // for bench/sec8_adversarial and the adversary tests).
+  std::uint64_t pathlen_rejections() const;
+  std::uint64_t peerlock_rejections() const;
   // Effective worker count of this engine's frontier pump.
   std::size_t world_threads() const noexcept { return world_threads_; }
 
@@ -278,6 +293,11 @@ class BgpEngine {
   // Disabled plane => every hook is one predictable branch; enabled plane
   // injects session downtime, update loss (with retransmit), and delays.
   faults::FaultPlane* faults_;
+  // Adversary plane resolved at construction (AdversaryPlane::current()).
+  // Disabled plane => no profiles applied, locked set still computed (the
+  // filter is inert without a profile switching it on).
+  adversary::AdversaryPlane* adversary_;
+  std::vector<AsId> locked_ases_;
 
   // Dense per-AS state: speakers and counters are vectors indexed by the
   // rank of the AS id in sorted order (ids are contiguous in generated

@@ -23,7 +23,9 @@ namespace {
 
 constexpr std::uint32_t kEngineTag = 0x4e454742;   // "BGEN"
 constexpr std::uint32_t kSpeakerTag = 0x4b505342;  // "BSPK"
-constexpr std::uint32_t kVersion = 1;
+// v2: SpeakerConfig grew the adversarial import policies (path_length_limit,
+// peerlock_filter) and their rejection counters.
+constexpr std::uint32_t kVersion = 2;
 
 void write_prefix(util::BinWriter& w, const Prefix& p) {
   w.u32(p.addr());
@@ -142,6 +144,8 @@ void BgpSpeaker::save_snapshot(util::BinWriter& w,
   w.f64(cfg_.damping_reuse_threshold);
   w.f64(cfg_.damping_half_life_seconds);
   w.f64(cfg_.mrai_seconds);
+  w.size(cfg_.path_length_limit);
+  w.b(cfg_.peerlock_filter);
 
   // Prefix states, sorted by prefix for a deterministic byte stream.
   std::vector<const std::pair<const Prefix, PrefixState>*> items;
@@ -206,6 +210,8 @@ void BgpSpeaker::save_snapshot(util::BinWriter& w,
   for (const bool present : len_present_) w.b(present);
   w.u64(rejected_loop_);
   w.u64(rejected_peer_filter_);
+  w.u64(rejected_pathlen_);
+  w.u64(rejected_peerlock_);
   w.u64(avoid_notifications_);
 }
 
@@ -231,6 +237,8 @@ void BgpSpeaker::load_snapshot(util::BinReader& r,
   cfg_.damping_reuse_threshold = r.f64();
   cfg_.damping_half_life_seconds = r.f64();
   cfg_.mrai_seconds = r.f64();
+  cfg_.path_length_limit = r.size();
+  cfg_.peerlock_filter = r.b();
 
   prefixes_.clear();
   const std::size_t n_prefixes = r.count(8);
@@ -296,6 +304,8 @@ void BgpSpeaker::load_snapshot(util::BinReader& r,
   for (bool& present : len_present_) present = r.b();
   rejected_loop_ = r.u64();
   rejected_peer_filter_ = r.u64();
+  rejected_pathlen_ = r.u64();
+  rejected_peerlock_ = r.u64();
   avoid_notifications_ = r.u64();
 }
 

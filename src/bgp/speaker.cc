@@ -147,6 +147,45 @@ bool BgpSpeaker::import_acceptable(const UpdateMessage& msg) {
       }
     }
   }
+  // Path-length filter (lg::adversary): paths longer than the local
+  // threshold never make it into the Adj-RIB-In — the practice that limits
+  // poisoning reach in the wild.
+  if (cfg_.path_length_limit > 0 &&
+      msg.path.size() > cfg_.path_length_limit) {
+    ++rejected_pathlen_;
+    return false;
+  }
+  // Peerlock/leak filter (lg::adversary): a locked AS appearing behind a
+  // hop that is neither locked itself (clique exemption) nor the locked
+  // AS's customer is a route leak — exactly the shape a poison O-A-O takes
+  // when A is in the clique. Pure const queries against the immutable graph
+  // and the engine-owned sorted locked set, so the phase-1 import fan-out
+  // stays thread-safe.
+  if (cfg_.peerlock_filter && locked_ases_ != nullptr &&
+      !locked_ases_->empty()) {
+    const AsPath& path = msg.path.get();
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const AsId locked = path[i];
+      if (locked == id_) continue;
+      if (!std::binary_search(locked_ases_->begin(), locked_ases_->end(),
+                              locked)) {
+        continue;
+      }
+      const AsId in_front = path[i - 1];
+      if (std::binary_search(locked_ases_->begin(), locked_ases_->end(),
+                             in_front)) {
+        continue;  // clique-internal hop, legitimate
+      }
+      // relationship(a, b) is b's role from a's view: kProvider means the
+      // locked AS provides transit to the hop in front — the customer
+      // exemption that keeps ordinary customer-learned routes importable.
+      if (graph_->relationship(in_front, locked) == topo::Rel::kProvider) {
+        continue;
+      }
+      ++rejected_peerlock_;
+      return false;
+    }
+  }
   return true;
 }
 

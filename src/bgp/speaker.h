@@ -77,6 +77,18 @@ struct SpeakerConfig {
   double damping_half_life_seconds = 900.0;
   // Per-neighbor MRAI override; <0 means "use engine default".
   double mrai_seconds = -1.0;
+  // ---- Adversarial import policies (lg::adversary profiles; merged in by
+  // the engine when an AdversaryPlane is enabled, and honored identically
+  // by check::ReferenceBgp) ----
+  // Reject announcements whose AS_PATH exceeds this many hops — the
+  // practice that kills long poisoned/prepended paths (Smith et al.).
+  // 0 disables the filter.
+  std::size_t path_length_limit = 0;
+  // Peerlock/leak filter (McDaniel et al.): reject any path in which a
+  // locked AS (tier-1 clique, see BgpSpeaker::set_locked_ases) appears
+  // behind a hop that is neither locked itself nor the locked AS's
+  // customer — the leak shape poisoned announcements produce.
+  bool peerlock_filter = false;
 };
 
 struct FibResult {
@@ -175,10 +187,21 @@ class BgpSpeaker {
   // First provider (lowest ASN) — target of the default route.
   std::optional<AsId> default_gateway() const;
 
+  // The Peerlock locked set consulted by peerlock_filter: a sorted vector
+  // owned by the engine (one copy per world, shared by every speaker).
+  // Null until installed; the filter is inert without it.
+  void set_locked_ases(const std::vector<AsId>* locked) noexcept {
+    locked_ases_ = locked;
+  }
+
   // Import rejection counters (diagnostics).
   std::uint64_t rejected_loop() const noexcept { return rejected_loop_; }
   std::uint64_t rejected_peer_filter() const noexcept {
     return rejected_peer_filter_;
+  }
+  std::uint64_t rejected_pathlen() const noexcept { return rejected_pathlen_; }
+  std::uint64_t rejected_peerlock() const noexcept {
+    return rejected_peerlock_;
   }
   // AVOID_PROBLEM's Notification property: how many announcements named
   // this AS as the problem (its operators would be alerted).
@@ -282,8 +305,11 @@ class BgpSpeaker {
   std::unordered_map<Prefix, PrefixState, topo::PrefixHash> prefixes_;
   std::optional<AsId> forced_egress_;
   bool len_present_[33] = {};
+  const std::vector<AsId>* locked_ases_ = nullptr;
   std::uint64_t rejected_loop_ = 0;
   std::uint64_t rejected_peer_filter_ = 0;
+  std::uint64_t rejected_pathlen_ = 0;
+  std::uint64_t rejected_peerlock_ = 0;
   std::uint64_t avoid_notifications_ = 0;
 };
 

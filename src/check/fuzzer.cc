@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "adversary/adversary_plane.h"
 #include "bgp/engine.h"
 #include "check/reference_bgp.h"
 #include "faults/fault_plane.h"
@@ -169,6 +170,21 @@ ScenarioResult run_scenario(const ScenarioOptions& opt) {
   fc.seed = rng.next_u64();
   faults::FaultPlane plane(fc);
   faults::ScopedFaultPlane scoped_plane(plane);
+  // Adversary dimension: plane scoped before the engine so construction
+  // applies the hostile profiles. Config and RNG draws happen only when the
+  // dimension is on, so prevalence-0 sweeps replay pre-adversary streams.
+  std::optional<adversary::AdversaryPlane> aplane;
+  std::optional<adversary::ScopedAdversaryPlane> scoped_aplane;
+  if (opt.adversary_prevalence > 0.0) {
+    adversary::AdversaryConfig ac =
+        adversary::AdversaryConfig::at_prevalence(opt.adversary_prevalence);
+    // Destabilizer timing is a workload concern; the fuzzer's own event
+    // script already flaps origins, so keep the script authoritative.
+    ac.destabilizer_prevalence = 0.0;
+    ac.seed = rng.next_u64();
+    aplane.emplace(ac);
+    scoped_aplane.emplace(*aplane);
+  }
   util::Scheduler sched;
   bgp::EngineConfig ec;
   ec.seed = rng.next_u64();
@@ -180,6 +196,25 @@ ScenarioResult run_scenario(const ScenarioOptions& opt) {
   bgp::BgpEngine engine(gt.graph, sched, ec);
   ReferenceBgp ref(gt.graph);
   randomize_speaker_configs(rng, gt.graph, engine, ref);
+  if (aplane.has_value()) {
+    // randomize_speaker_configs assigns whole SpeakerConfig structs, which
+    // clobbers the profiles the engine applied at construction. Re-merge
+    // them into BOTH sides so the differential judges identical policies.
+    const adversary::RoleTable roles(gt.graph);
+    for (const AsId id : gt.graph.as_ids()) {
+      const adversary::Profile prof =
+          aplane->profile_for(id, roles.role(id));
+      if (!prof.any()) continue;
+      for (bgp::SpeakerConfig* cfg :
+           {&engine.speaker(id).mutable_config(), &ref.config(id)}) {
+        if (prof.path_length_limit > 0) {
+          cfg->path_length_limit = prof.path_length_limit;
+        }
+        if (prof.default_route) cfg->has_default_route = true;
+        if (prof.peerlock) cfg->peerlock_filter = true;
+      }
+    }
+  }
 
   // ---- Event script. ----
   const std::vector<AsId> transit = gt.transit();
@@ -313,22 +348,26 @@ ScenarioResult run_scenario(const ScenarioOptions& opt) {
 
 SweepSummary run_sweep(std::uint64_t first_seed, std::size_t count,
                        double fault_intensity, bool log_failures,
-                       std::size_t world_threads) {
+                       std::size_t world_threads,
+                       double adversary_prevalence) {
   SweepSummary summary;
   for (std::size_t i = 0; i < count; ++i) {
     ScenarioOptions opt;
     opt.seed = first_seed + i;
     opt.fault_intensity = fault_intensity;
     opt.world_threads = world_threads;
+    opt.adversary_prevalence = adversary_prevalence;
     const ScenarioResult result = run_scenario(opt);
     ++summary.runs;
     if (!result.ok()) {
       summary.failing_seeds.push_back(result.seed);
       if (log_failures) {
         std::fprintf(stderr,
-                     "LG_CHECK failure (fault_intensity=%g): %s\n"
+                     "LG_CHECK failure (fault_intensity=%g "
+                     "adversary_prevalence=%g): %s\n"
                      "  replay with LG_CHECK_SEED=%llu\n",
-                     fault_intensity, result.summary().c_str(),
+                     fault_intensity, adversary_prevalence,
+                     result.summary().c_str(),
                      static_cast<unsigned long long>(result.seed));
       }
     }

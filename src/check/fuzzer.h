@@ -2,7 +2,9 @@
 //
 // One scenario = one 64-bit seed. The seed deterministically derives a small
 // random topology, per-AS policy knobs (loop thresholds, community
-// stripping, Cogent-style peer filters, default routes), and an event script
+// stripping, Cogent-style peer filters, default routes, and — when the
+// adversary dimension is on — path-length and Peerlock import filters from
+// a seed-derived lg::adversary plane), and an event script
 // of originates / withdraws / poisons / prepends / selective announcements /
 // flaps — optionally executed under an lg::faults plane, so update loss,
 // delay, and session resets churn the control plane while it converges.
@@ -40,6 +42,11 @@ struct ScenarioOptions {
   // world_threads); 0 = engine default. Results must not depend on it —
   // the determinism-contract tests sweep this knob.
   std::size_t world_threads = 0;
+  // > 0 scopes an lg::adversary plane at that prevalence with a
+  // seed-derived adversary seed: path-length filters and Peerlock apply to
+  // both the engine and the reference, which must still agree exactly.
+  // 0 keeps the scenario's RNG stream identical to pre-adversary builds.
+  double adversary_prevalence = 0.0;
 };
 
 struct ScenarioResult {
@@ -76,11 +83,13 @@ struct SweepSummary {
 // Runs seeds [first_seed, first_seed + count) at the given fault intensity.
 // When log_failures is set, each failing seed prints a replayable
 // "LG_CHECK_SEED=<seed>" line to stderr. `world_threads` is forwarded to
-// every scenario's engine (0 = engine default).
+// every scenario's engine (0 = engine default), `adversary_prevalence` to
+// every scenario's adversary plane (0 = no plane).
 SweepSummary run_sweep(std::uint64_t first_seed, std::size_t count,
                        double fault_intensity = 0.0,
                        bool log_failures = true,
-                       std::size_t world_threads = 0);
+                       std::size_t world_threads = 0,
+                       double adversary_prevalence = 0.0);
 
 // The LG_CHECK_SEED environment variable, if set: the seed a previous
 // failing run asked to have replayed.

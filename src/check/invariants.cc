@@ -294,6 +294,30 @@ void InvariantChecker::check_adj_out_consistency(
             }
           }
         }
+        if (acceptable && rcfg.path_length_limit > 0 &&
+            unit.path.size() > rcfg.path_length_limit) {
+          acceptable = false;
+        }
+        if (acceptable && rcfg.peerlock_filter) {
+          const auto& locked = engine_->locked_ases();
+          for (std::size_t i = 1; i < unit.path.size(); ++i) {
+            const AsId lk = unit.path[i];
+            if (lk == n.id) continue;
+            if (!std::binary_search(locked.begin(), locked.end(), lk)) {
+              continue;
+            }
+            const AsId in_front = unit.path[i - 1];
+            if (std::binary_search(locked.begin(), locked.end(), in_front)) {
+              continue;
+            }
+            if (engine_->graph().relationship(in_front, lk) ==
+                topo::Rel::kProvider) {
+              continue;
+            }
+            acceptable = false;
+            break;
+          }
+        }
         if (!acceptable) {
           if (entry) {
             out.push_back({"adj_out_consistency",

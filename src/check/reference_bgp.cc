@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "adversary/adversary_plane.h"
+
 namespace lg::check {
 
 namespace {
@@ -32,7 +34,8 @@ bool preferred(const RefRoute& a, const RefRoute& b) {
 
 }  // namespace
 
-ReferenceBgp::ReferenceBgp(const topo::AsGraph& graph) : graph_(&graph) {
+ReferenceBgp::ReferenceBgp(const topo::AsGraph& graph)
+    : graph_(&graph), locked_ases_(adversary::locked_ases(graph)) {
   for (const AsId id : graph.as_ids()) ases_[id];  // default state per AS
 }
 
@@ -75,6 +78,28 @@ bool ReferenceBgp::import_ok(AsId as, AsId from,
       graph_->relationship(as, from) == topo::Rel::kCustomer) {
     for (const AsId hop : path) {
       if (graph_->relationship(as, hop) == topo::Rel::kPeer) return false;
+    }
+  }
+  if (cfg.path_length_limit > 0 && path.size() > cfg.path_length_limit) {
+    return false;
+  }
+  if (cfg.peerlock_filter && !locked_ases_.empty()) {
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const AsId locked = path[i];
+      if (locked == as) continue;
+      if (!std::binary_search(locked_ases_.begin(), locked_ases_.end(),
+                              locked)) {
+        continue;
+      }
+      const AsId in_front = path[i - 1];
+      if (std::binary_search(locked_ases_.begin(), locked_ases_.end(),
+                             in_front)) {
+        continue;
+      }
+      if (graph_->relationship(in_front, locked) == topo::Rel::kProvider) {
+        continue;
+      }
+      return false;
     }
   }
   return true;

@@ -17,7 +17,9 @@
 //
 // Scope: models origin policies (including crafted/poisoned and selective
 // per-neighbor announcements), loop-prevention thresholds, the Cogent-style
-// customer/peer import filter, community stripping, and AVOID_PROBLEM hint
+// customer/peer import filter, the adversarial import policies (path-length
+// limits and Peerlock leak filters — see adversary/adversary_plane.h),
+// community stripping, and AVOID_PROBLEM hint
 // tiering. Flap damping is intentionally NOT modeled: damping makes the
 // converged state history-dependent, which has no synchronous-fixpoint
 // equivalent; differential scenarios must keep it disabled.
@@ -55,7 +57,8 @@ class ReferenceBgp {
 
   // Per-AS policy knobs, honored subset: loop_threshold,
   // loop_detection_disabled, reject_customer_routes_containing_my_peers,
-  // strips_communities, honors_avoid_hints. Mutate before solve().
+  // strips_communities, honors_avoid_hints, path_length_limit,
+  // peerlock_filter. Mutate before solve().
   bgp::SpeakerConfig& config(AsId as);
 
   // (Re)announce / stop announcing `prefix` from `as`. The reference holds
@@ -100,6 +103,7 @@ class ReferenceBgp {
                                  const std::map<AsId, RefRoute>& rib) const;
 
   const topo::AsGraph* graph_;
+  std::vector<AsId> locked_ases_;  // provider-free ASes, sorted (Peerlock)
   std::map<AsId, AsState> ases_;
   std::size_t rounds_ = 0;
 };

@@ -2,12 +2,19 @@
 
 #include <algorithm>
 
+#include "adversary/adversary_plane.h"
 #include "faults/fault_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
 namespace lg::core {
+
+namespace {
+// Consecutive failed sentinel rounds on one escalation rung before climbing
+// to the next (adversary-gated; see Lifeguard::escalate).
+constexpr int kEscalationFailures = 3;
+}  // namespace
 
 const char* repair_action_name(RepairAction a) noexcept {
   switch (a) {
@@ -57,6 +64,11 @@ Lifeguard::Lifeguard(util::Scheduler& sched, bgp::BgpEngine& engine,
   trace_ = &obs::TraceRing::current();
   spans_ = &obs::SpanRegistry::current();
   faults_ = &faults::FaultPlane::current();
+  adversary_ = &adversary::AdversaryPlane::current();
+  if (adversary_->enabled()) {
+    c_escalations_ = &reg.counter("lg.lifeguard.escalations");
+    c_captive_ = &reg.counter("lg.lifeguard.captive");
+  }
 }
 
 void Lifeguard::close_outage_span(TargetCtx& target, double now,
@@ -402,6 +414,8 @@ void Lifeguard::apply_remediation(TargetCtx& target, OutageRecord& record) {
   spans_->annotate(target.outage_span, "time_to_remediate",
                    now - record.detected_at);
   set_state(target, TargetState::kRemediated);
+  target.rung = 0;
+  target.rung_failures = 0;
   active_record_ = target.open_record;
   LG_INFO << "remediation applied (" << repair_action_name(record.action)
           << " of AS " << blamed << ") for "
@@ -438,8 +452,96 @@ void Lifeguard::sentinel_round(topo::Ipv4 addr) {
     revert(*target, record);
     return;
   }
+  // Under an adversarial plane the poison may never take: a path-length
+  // filter can reject the longer post-poison paths, and a default-routed
+  // stub keeps forwarding into the failure regardless of the control plane.
+  // Judge the *remediated* path on the data plane — a poison that took
+  // restores reachability through an alternate route long before the
+  // original path heals — and climb the escalation ladder while it fails.
+  if (adversary_->enabled() && record.action != RepairAction::kEgressShift) {
+    if (monitored_ping(addr)) {
+      target->rung_failures = 0;
+    } else if (++target->rung_failures >= kEscalationFailures) {
+      escalate(*target, record);
+      if (target->state != TargetState::kRemediated) return;  // gave up
+    }
+  }
   sched_->after(cfg_.sentinel_check_interval,
                 [this, addr] { sentinel_round(addr); });
+}
+
+void Lifeguard::escalate(TargetCtx& target, OutageRecord& record) {
+  const double now = sched_->now();
+  const AsId blamed = *record.isolation.blamed_as;
+  target.rung_failures = 0;
+  ++target.rung;
+
+  if (target.rung == 1) {
+    // Rung 1 — deeper poison: {A, A} defeats an AS that tolerates a single
+    // occurrence of its own ASN in the path (§7.1).
+    remediator_.poison_path({blamed, blamed});
+    record.action = RepairAction::kPoison;
+    ++record.escalations;
+    if (c_escalations_ != nullptr) c_escalations_->inc();
+    trace_->record(now, obs::TraceKind::kEscalationApplied, blamed,
+                   record.target, static_cast<double>(target.rung));
+    spans_->annotate(target.outage_span, "escalations",
+                     static_cast<double>(record.escalations));
+    LG_INFO << "escalation rung 1 (deeper poison of AS " << blamed
+            << ") for " << topo::format_ipv4(record.target);
+    return;
+  }
+  if (target.rung == 2) {
+    // Rung 2 — selective advertisement: poison via all providers but one,
+    // so filtered or default-routed ASes still see a baseline announcement
+    // from the kept provider while the blamed AS is steered elsewhere.
+    const auto providers = engine_->graph().providers(origin_);
+    if (providers.size() >= 2) {
+      const std::vector<AsId> poisoned(providers.begin() + 1,
+                                       providers.end());
+      remediator_.selective_poison(blamed, poisoned);
+      record.action = RepairAction::kSelectivePoison;
+      ++record.escalations;
+      if (c_escalations_ != nullptr) c_escalations_->inc();
+      trace_->record(now, obs::TraceKind::kEscalationApplied, blamed,
+                     record.target, static_cast<double>(target.rung));
+      spans_->annotate(target.outage_span, "escalations",
+                       static_cast<double>(record.escalations));
+      LG_INFO << "escalation rung 2 (selective advertisement around AS "
+              << blamed << ") for " << topo::format_ipv4(record.target);
+      return;
+    }
+    // A single provider leaves nothing to advertise selectively through;
+    // fall through to giving up.
+  }
+
+  // Rung 3 — give up. Audit the control plane against the data plane before
+  // reverting: a missing route at the blamed AS with a still-dead data plane
+  // is the default-route signature (repaired RIB, captive traffic).
+  record.control_plane_repaired =
+      engine_->best_route(blamed, remediator_.production_prefix()) == nullptr;
+  record.captive = true;
+  record.note = record.control_plane_repaired
+                    ? "captive: control plane repaired but data plane still "
+                      "fails (default-routed AS keeps forwarding)"
+                    : "captive: adversarial import filters kept the blamed "
+                      "AS on the path";
+  remediator_.unpoison();
+  if (c_captive_ != nullptr) c_captive_->inc();
+  trace_->record(now, obs::TraceKind::kCaptiveDeclared, blamed, record.target,
+                 record.control_plane_repaired ? 1.0 : 0.0);
+  LG_INFO << "giving up on " << topo::format_ipv4(record.target)
+          << " after " << record.escalations << " escalations: "
+          << record.note;
+  record.reverted_at = now;
+  spans_->annotate(target.outage_span, "escalations",
+                   static_cast<double>(record.escalations));
+  close_outage_span(target, now, 6.0);
+  set_state(target, TargetState::kMonitoring);
+  target.consecutive_failures = 0;
+  target.rung = 0;
+  target.open_record = SIZE_MAX;
+  active_record_.reset();
 }
 
 void Lifeguard::revert(TargetCtx& target, OutageRecord& record) {

@@ -41,6 +41,10 @@ namespace lg::faults {
 class FaultPlane;
 }  // namespace lg::faults
 
+namespace lg::adversary {
+class AdversaryPlane;
+}  // namespace lg::adversary
+
 namespace lg::core {
 
 // Graceful degradation under a faulty measurement plane (lg::faults). All of
@@ -96,6 +100,16 @@ struct OutageRecord {
   double repaired_at = -1.0;    // sentinel saw the original path heal
   double reverted_at = -1.0;    // baseline announcement restored
   bool resolved_without_action = false;
+  // Adversarial-plane outcomes (lg::adversary; always false/0 without it).
+  // Escalation rungs attempted (deeper poison, selective advertisement)
+  // before the sentinel saw a repair or we gave up.
+  int escalations = 0;
+  // Gave up: reverted to baseline with the target still unreachable.
+  bool captive = false;
+  // Audited at give-up: the blamed AS held no route to the production
+  // prefix (the control plane *was* repaired — only the data plane, e.g. a
+  // default-routed stub, is still captive).
+  bool control_plane_repaired = false;
   std::string note;
 };
 
@@ -147,6 +161,10 @@ class Lifeguard {
     // phase currently in flight.
     obs::SpanId outage_span = 0;
     obs::SpanId phase_span = 0;
+    // Escalation ladder position (adversary-gated): current rung and
+    // consecutive failed sentinel rounds on that rung.
+    int rung = 0;
+    int rung_failures = 0;
   };
 
   void ping_round();
@@ -170,10 +188,14 @@ class Lifeguard {
       AsId blamed, const std::optional<topo::AsLinkKey>& blamed_link,
       AsId affected_source) const;
   void revert(TargetCtx& target, OutageRecord& record);
+  // Adversary-gated escalation ladder (§7.1-style fallbacks): after enough
+  // failed sentinel rounds, deepen the poison, then fall back to selective
+  // advertisement, then give up and close the outage as captive.
+  void escalate(TargetCtx& target, OutageRecord& record);
   TargetCtx* find_target(topo::Ipv4 addr);
   // Close the target's phase + outage spans at `now`, annotating the outage
   // with an outcome code (0 resolved-self, 1 no-blame, 2 declined,
-  // 3 stand-down, 4 no-egress, 5 repaired).
+  // 3 stand-down, 4 no-egress, 5 repaired, 6 captive).
   void close_outage_span(TargetCtx& target, double now, double outcome);
 
   util::Scheduler* sched_;
@@ -193,6 +215,9 @@ class Lifeguard {
   // Fault plane resolved at construction; degradation is active only when
   // it is enabled, so fault-free runs are byte-identical to before.
   faults::FaultPlane* faults_;
+  // Adversary plane resolved at construction; the escalation ladder and
+  // captive bookkeeping run only when it is enabled.
+  adversary::AdversaryPlane* adversary_;
   double probe_coverage_ = 1.0;
   // Index of the record currently holding a remediation (one at a time —
   // the deployment poisons one prefix per problem).
@@ -212,6 +237,10 @@ class Lifeguard {
   obs::Counter* c_egress_shifts_;
   obs::Counter* c_repairs_completed_;
   obs::Counter* c_decisions_deferred_;
+  // Registered only when the adversary plane is enabled (nullptr otherwise),
+  // so cooperative-run metric reports are unchanged.
+  obs::Counter* c_escalations_ = nullptr;
+  obs::Counter* c_captive_ = nullptr;
   obs::Gauge* g_probe_coverage_;
   obs::Distribution* d_time_to_repair_;
   obs::Distribution* d_time_to_remediate_;

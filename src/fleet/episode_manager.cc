@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "adversary/adversary_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -65,6 +66,8 @@ const char* episode_outcome_name(EpisodeOutcome o) noexcept {
       return "remediated";
     case EpisodeOutcome::kVerifyTimeout:
       return "verify-timeout";
+    case EpisodeOutcome::kCaptive:
+      return "captive";
   }
   return "?";
 }
@@ -120,6 +123,10 @@ EpisodeManager::EpisodeManager(workload::SimWorld& world, AsId origin,
       &reg.distribution("lg.fleet.time_in_holddown");
   trace_ = &obs::TraceRing::current();
   spans_ = &obs::SpanRegistry::current();
+  adversary_ = &adversary::AdversaryPlane::current();
+  if (adversary_->enabled()) {
+    c_captive_ = &reg.counter("lg.fleet.captive");
+  }
   announce_ = &announce_budget;
   admission_ = &probe_admission;
 }
@@ -513,6 +520,18 @@ void EpisodeManager::verify_round(std::size_t target_idx) {
   }
 
   if (now - rec.remediated_at > cfg_.max_verify_seconds) {
+    // Under the adversarial plane a repair that never takes is the expected
+    // signature of hostile policies (path-length filters rejecting the
+    // poisoned announcement, default-routed stubs forwarding regardless):
+    // close as captive, not verify-timeout, so adversarial runs stop
+    // reporting a repair that never reached the data plane.
+    if (adversary_->enabled() && !ping_target(t)) {
+      rec.note = "gave up captive: adversarial plane kept the target dark";
+      drop_remediation(rec);
+      close_episode(t, rec, EpisodeOutcome::kCaptive, now,
+                    EpisodeState::kHolddown);
+      return;
+    }
     rec.note = "verification timed out; reverting";
     drop_remediation(rec);
     close_episode(t, rec, EpisodeOutcome::kVerifyTimeout, now,
@@ -602,6 +621,9 @@ void EpisodeManager::close_episode(TargetCtx& t, EpisodeRecord& rec,
     case EpisodeOutcome::kDeclined:
     case EpisodeOutcome::kNoBlame:
       c_declined_->inc();
+      break;
+    case EpisodeOutcome::kCaptive:
+      if (c_captive_ != nullptr) c_captive_->inc();
       break;
     default:
       break;

@@ -53,6 +53,10 @@ class Gauge;
 class TraceRing;
 }  // namespace lg::obs
 
+namespace lg::adversary {
+class AdversaryPlane;
+}  // namespace lg::adversary
+
 namespace lg::fleet {
 
 enum class EpisodeState : std::uint8_t {
@@ -72,6 +76,8 @@ enum class EpisodeOutcome : std::uint8_t {
   kDeclined,            // decision gates said no (age / alternate path)
   kRemediated,          // poisoned, verified repaired, reverted
   kVerifyTimeout,       // verification never saw the original path heal
+  kCaptive,             // gave up under the adversarial plane: reverted with
+                        // the target still unreachable (lg::adversary)
 };
 const char* episode_outcome_name(EpisodeOutcome o) noexcept;
 
@@ -277,6 +283,11 @@ class EpisodeManager {
   obs::Distribution* d_time_in_state_[6] = {};
   obs::TraceRing* trace_;
   obs::SpanRegistry* spans_;
+  // Adversary plane resolved at construction; the captive close path runs
+  // only when it is enabled, and c_captive_ stays nullptr (unregistered)
+  // otherwise so cooperative metric reports are unchanged.
+  adversary::AdversaryPlane* adversary_;
+  obs::Counter* c_captive_ = nullptr;
 };
 
 }  // namespace lg::fleet

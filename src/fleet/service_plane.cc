@@ -24,7 +24,8 @@ namespace {
 constexpr std::uint32_t kShardTag = 0x53435653;  // "SVCS"
 constexpr std::uint32_t kPlaneTag = 0x4c505653;  // "SVPL"
 constexpr std::uint32_t kFileTag = 0x46435653;   // "SVCF"
-constexpr std::uint32_t kVersion = 1;
+// v2: outcome array grew a kCaptive slot (lg::adversary).
+constexpr std::uint32_t kVersion = 2;
 
 constexpr std::uint8_t kNoSlot = 0xff;
 constexpr std::uint32_t kFreeSlot = 0xffffffffu;
@@ -729,7 +730,7 @@ class ServicePlane {
   std::size_t open_ = 0;
   std::uint64_t opened_ = 0;
   std::uint64_t closed_ = 0;
-  std::array<std::uint64_t, 6> outcomes_{};
+  std::array<std::uint64_t, 7> outcomes_{};
   std::uint64_t fnv_ = kFnvOffset;
   std::uint64_t slot_leases_ = 0;
   std::uint64_t slot_waits_ = 0;
@@ -1099,7 +1100,11 @@ std::string ServiceResult::fingerprint() const {
        << s.clients << " prefixes " << s.prefixes << " ticks " << s.ticks
        << " outages " << s.outages_injected << " opened " << s.episodes_opened
        << " closed " << s.episodes_closed << " outcomes [";
-    for (std::size_t i = 0; i < s.outcomes.size(); ++i) {
+    // The captive slot prints only when hit, so cooperative-run digests are
+    // unchanged from before the outcome array grew it.
+    const std::size_t n_outcomes =
+        s.outcomes.back() == 0 ? s.outcomes.size() - 1 : s.outcomes.size();
+    for (std::size_t i = 0; i < n_outcomes; ++i) {
       if (i != 0) os << ",";
       os << s.outcomes[i];
     }

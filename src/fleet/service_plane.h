@@ -130,8 +130,8 @@ struct ServiceShardReport {
   std::uint64_t outages_injected = 0;
   std::uint64_t episodes_opened = 0;
   std::uint64_t episodes_closed = 0;
-  // Indexed by EpisodeOutcome.
-  std::array<std::uint64_t, 6> outcomes{};
+  // Indexed by EpisodeOutcome (slot 6 = kCaptive, adversarial runs only).
+  std::array<std::uint64_t, 7> outcomes{};
   // Rolling FNV-1a over every closed record, in close order — the compact
   // determinism surface even after the record ring evicts history.
   std::uint64_t fingerprint = 0;

@@ -70,6 +70,12 @@ const char* trace_kind_name(TraceKind k) noexcept {
       return "announce_deferred";
     case TraceKind::kEpisodeStalled:
       return "episode_stalled";
+    case TraceKind::kEscalationApplied:
+      return "escalation_applied";
+    case TraceKind::kCaptiveDeclared:
+      return "captive_declared";
+    case TraceKind::kDestabilizerStep:
+      return "destabilizer_step";
     case TraceKind::kCount:
       return "?";
   }

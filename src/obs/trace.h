@@ -64,6 +64,15 @@ enum class TraceKind : std::uint8_t {
   // Fleet stall watchdog: episode stuck in one state past the configured
   // threshold. a = target address, b = state code, value = age in state.
   kEpisodeStalled,
+  // Adversarial plane (lg::adversary). Escalation ladder rung applied
+  // (a = blamed AS, b = target address, value = rung) and a repair given up
+  // as captive (a = blamed AS, b = target address, value = 1 if the control
+  // plane did remove the route, i.e. only the data plane is captive).
+  kEscalationApplied,
+  kCaptiveDeclared,
+  // Destabilizing announcer step. a = announcing AS, b = 1 announce /
+  // 0 withdraw, value = prepend count on an announce.
+  kDestabilizerStep,
   // Sentinel — keep last. tests/test_obs.cc iterates [0, kCount) to pin
   // every kind to a unique trace_kind_name(); adding a kind without a name
   // fails that test instead of printing "?".
